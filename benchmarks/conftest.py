@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Each benchmark module regenerates one table/figure of the paper's Section 6
+(see DESIGN.md's per-experiment index).  Axes are scaled down by default so
+``pytest benchmarks/ --benchmark-only`` completes in minutes on a laptop;
+set ``REPRO_BENCH_FULL=1`` for the paper-scale axes (card(Σ) up to 2000,
+m up to 50, K up to 8000), which is what EXPERIMENTS.md records.
+
+Benchmarks print their result tables; run with ``-s`` (or read the
+captured output) to see the regenerated figures.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Full-scale axes (paper-shaped, minutes of runtime).
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+
+def fig8a_cards():
+    return tuple(range(200, 2001, 200)) if FULL else (200, 600, 1000)
+
+
+def fig8_y_lengths():
+    return (6, 8, 10, 12) if FULL else (6, 10)
+
+
+def fig8b_ms():
+    return tuple(range(5, 51, 5)) if FULL else (5, 20, 35, 50)
+
+
+def fig8b_card():
+    return 2000 if FULL else 600
+
+def matching_sizes():
+    return (1000, 2000, 4000, 8000) if FULL else (500, 1000, 2000)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return matching_sizes()

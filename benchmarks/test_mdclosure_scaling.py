@@ -1,0 +1,68 @@
+"""Theorem 4.1 — MDClosure complexity, plus the indexing ablation.
+
+The paper proves MDClosure runs in O(n² + h³) and notes it "can possibly
+be improved to O(n + h³) by leveraging the index structures of [8, 25]".
+Our production engine *is* the indexed variant; the literal Fig. 5 loop is
+kept as ``md_closure_paper_loop``.  This bench times both across n and
+prints the comparison — the indexed engine should scale visibly better.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.closure import ClosureEngine, md_closure_paper_loop
+from repro.datagen.mdgen import generate_workload
+from repro.experiments.harness import Table
+
+from conftest import FULL
+
+_SIZES = (250, 500, 1000, 2000) if FULL else (100, 250, 500)
+
+
+@pytest.fixture(scope="module")
+def comparison_table():
+    table = Table(
+        "Theorem 4.1: MDClosure runtime (indexed engine vs Fig. 5 loop)",
+        ["card(Sigma)", "engine build (s)", "engine query (s)", "paper loop (s)"],
+    )
+    for card in _SIZES:
+        workload = generate_workload(md_count=card, target_length=8, seed=1)
+        sigma = list(workload.sigma)
+        phi = sigma[0]
+
+        start = time.perf_counter()
+        engine = ClosureEngine(workload.pair, sigma)
+        build = time.perf_counter() - start
+
+        start = time.perf_counter()
+        engine.closure(phi.lhs)
+        query = time.perf_counter() - start
+
+        start = time.perf_counter()
+        md_closure_paper_loop(workload.pair, sigma, phi.lhs)
+        loop = time.perf_counter() - start
+
+        table.add(card, build, query, loop)
+    return table
+
+
+def test_mdclosure_engine_query(benchmark, comparison_table):
+    workload = generate_workload(md_count=max(_SIZES), target_length=8, seed=1)
+    engine = ClosureEngine(workload.pair, list(workload.sigma))
+    phi = list(workload.sigma)[0]
+
+    benchmark(engine.closure, phi.lhs)
+
+    print()
+    print(comparison_table.render())
+
+
+def test_mdclosure_paper_loop(benchmark):
+    workload = generate_workload(md_count=min(_SIZES), target_length=8, seed=1)
+    sigma = list(workload.sigma)
+    phi = sigma[0]
+
+    benchmark(md_closure_paper_loop, workload.pair, sigma, phi.lhs)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fraud detection: matching card holders across credit and billing data.
+
+The paper's motivating application (Section 1): payment-fraud checks must
+decide whether the person on a billing record is the legitimate card
+holder.  This example:
+
+1. generates a realistic credit/billing dataset (duplicates, typos,
+   households that share surnames/addresses, partners paying with each
+   other's cards);
+2. deduces RCKs from the 7 domain MDs, using instance statistics for the
+   quality model;
+3. matches with the RCK pipeline (windowing + deduced keys);
+4. flags *suspicious* billing tuples: card number present in credit, but
+   the person does NOT match the card's holder;
+5. reports precision/recall against the generator truth.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro.datagen.generator import generate_dataset
+from repro.datagen.schemas import extended_mds
+from repro.experiments.exp_fs import deduce_rcks
+from repro.matching.evaluate import evaluate_matches
+from repro.matching.pipeline import RCKMatcher
+
+
+def main() -> None:
+    print("Generating 2,000 billing records (80% duplicates, noisy)...")
+    dataset = generate_dataset(
+        2000,
+        seed=7,
+        household_fraction=0.2,
+        shared_card_probability=0.4,
+    )
+    sigma = extended_mds(dataset.pair)
+
+    print("Deducing RCKs from the 7 card-holder MDs:")
+    rcks = deduce_rcks(dataset, sigma, m=5)
+    for key in rcks:
+        print(f"  {key}")
+
+    matcher = RCKMatcher(rcks, window=10)
+    result = matcher.match(dataset.credit, dataset.billing)
+    quality = evaluate_matches(result.matches, dataset.true_matches)
+    print(
+        f"\nHolder matching: {quality} "
+        f"({len(result.matches)} matches from {len(result.candidates)} candidates)"
+    )
+
+    # ------------------------------------------------------------------
+    # Fraud check: same card number, different person?
+    # ------------------------------------------------------------------
+    card_to_credit = {}
+    for row in dataset.credit:
+        card_to_credit.setdefault(row["c#"], []).append(row.tid)
+
+    matched_pairs = set(result.matches)
+    suspicious = []
+    for billing_row in dataset.billing:
+        holders = card_to_credit.get(billing_row["c#"], [])
+        if not holders:
+            continue  # unknown card: different risk channel
+        if not any(
+            (credit_tid, billing_row.tid) in matched_pairs
+            for credit_tid in holders
+        ):
+            suspicious.append(billing_row.tid)
+
+    # Ground truth for "card used by someone who is not its holder".
+    true_frauds = set()
+    for billing_row in dataset.billing:
+        holders = card_to_credit.get(billing_row["c#"], [])
+        entity = dataset.billing_entity[billing_row.tid]
+        if holders and all(
+            dataset.credit_entity[tid] != entity for tid in holders
+        ):
+            true_frauds.add(billing_row.tid)
+
+    flagged = set(suspicious)
+    true_positive = len(flagged & true_frauds)
+    print(
+        f"\nFraud check: {len(flagged)} billing tuples flagged as "
+        f"'card used by a non-holder'"
+    )
+    print(f"  actual shared-card usages in the data: {len(true_frauds)}")
+    if flagged:
+        print(f"  flag precision: {true_positive / len(flagged):.3f}")
+    if true_frauds:
+        print(f"  flag recall:    {true_positive / len(true_frauds):.3f}")
+    print(
+        "\n(Flags also include noisy duplicates the matcher missed - in a"
+        "\nreal deployment these go to manual review, which is exactly how"
+        "\ncard-fraud pipelines consume matcher output.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

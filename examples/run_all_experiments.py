@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regenerate every table/figure of Section 6 at full scale.
+
+Writes the text tables recorded in EXPERIMENTS.md.  Takes several minutes
+(pure Python); scale axes down with --quick for a smoke run.
+
+Run:  python examples/run_all_experiments.py [--quick] [-o OUTPUT]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import exp_blocking, exp_fs, exp_scalability, exp_sn
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="scaled-down axes")
+    parser.add_argument("-o", "--output", default=None, help="write tables to file")
+    args = parser.parse_args()
+
+    if args.quick:
+        fig8a_cards = (200, 600, 1000)
+        fig8b_ms = (5, 20, 50)
+        fig8b_card = 600
+        y_lengths = (6, 10)
+        sizes = (500, 1000, 2000)
+    else:
+        fig8a_cards = tuple(range(200, 2001, 200))
+        fig8b_ms = tuple(range(5, 51, 5))
+        fig8b_card = 2000
+        y_lengths = (6, 8, 10, 12)
+        sizes = (1000, 2000, 4000, 8000)
+
+    sections = []
+
+    def run(label, fn):
+        start = time.time()
+        print(f"[{label}] running ...", file=sys.stderr, flush=True)
+        text = fn()
+        print(f"[{label}] done in {time.time() - start:.1f}s", file=sys.stderr)
+        sections.append(text)
+
+    run("fig8", lambda: exp_scalability.render_fig8(
+        exp_scalability.fig8a(fig8a_cards, y_lengths, m=20),
+        exp_scalability.fig8b(fig8b_ms, fig8b_card, y_lengths),
+        exp_scalability.fig8c((10, 20, 30, 40), y_lengths),
+    ))
+    run("fig9", lambda: exp_fs.render(exp_fs.run(sizes=sizes, seed=0)))
+    run("fig10", lambda: exp_sn.render(exp_sn.run(sizes=sizes, seed=0)))
+    run("fig9d/10d", lambda: exp_blocking.render(
+        exp_blocking.run(sizes=sizes, seed=0, mode="blocking")
+    ))
+    run("exp4-windowing", lambda: exp_blocking.render(
+        exp_blocking.run(sizes=sizes, seed=0, mode="windowing")
+    ))
+
+    report = "\n\n".join(sections) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"tables written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

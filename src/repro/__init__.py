@@ -1,0 +1,30 @@
+"""repro — a reproduction of *Reasoning about Record Matching Rules*
+(Wenfei Fan, Xibei Jia, Jianzhong Li, Shuai Ma — VLDB 2009).
+
+The library implements the paper's full stack:
+
+* :mod:`repro.core` — matching dependencies (MDs), relative candidate keys
+  (RCKs), the ``MDClosure`` deduction algorithm, ``findRCKs`` with its
+  quality model, and the dynamic semantics / enforcement chase;
+* :mod:`repro.metrics` — similarity metrics (Damerau–Levenshtein, Jaro,
+  q-grams, ...) and the Soundex encoder;
+* :mod:`repro.relations` — the in-memory relational substrate;
+* :mod:`repro.matching` — Fellegi–Sunter (with EM), Sorted Neighborhood,
+  blocking, windowing, and evaluation metrics;
+* :mod:`repro.datagen` — the paper's schemas and MDs, synthetic
+  credit/billing datasets with ground truth, and random MD workloads;
+* :mod:`repro.experiments` — one module per figure of Section 6.
+
+Quickstart::
+
+    from repro.datagen import credit_billing_pair, paper_mds, paper_target
+    from repro.core import find_rcks
+
+    pair = credit_billing_pair()
+    for key in find_rcks(paper_mds(pair), paper_target(pair), m=6):
+        print(key)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

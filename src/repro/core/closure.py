@@ -1,0 +1,315 @@
+"""Algorithm ``MDClosure`` — deduction analysis for MDs (Section 4).
+
+Given a set Σ of MDs and another MD φ over ``(R1, R2)``, decide whether
+``Σ ⊨m φ``: the algorithm computes the *closure* of Σ and LHS(φ) — every
+fact ``R[A] ≈ R'[B]`` that must hold on stable instances whenever LHS(φ)
+holds — and answers yes iff every RHS pair of φ appears in the closure with
+equality (Lemma 3.2 lets the matching operator ``⇌`` be read as ``=`` on
+stable instances).
+
+Two implementations are provided:
+
+* :class:`ClosureEngine` — the production engine.  It indexes LHS conjuncts
+  so each MD in Σ is re-examined only when one of its conjuncts becomes
+  satisfied, the index-based refinement the paper points to via [8, 25]
+  ("the algorithm can possibly be improved to O(n + h³) time").  Building
+  the engine costs ``O(n)`` and is amortized across many queries — exactly
+  the access pattern of ``findRCKs``, which calls the closure once per
+  candidate attribute removal.
+* :func:`md_closure_paper_loop` — the literal repeat-until-no-change scan of
+  Fig. 5 (``O(n²)`` in the size of Σ).  Kept for fidelity, used in tests to
+  cross-check the engine and in an ablation benchmark.
+
+Both use the corrected symmetric propagation discussed in DESIGN.md: each
+newly derived edge is combined with existing equality edges at *both*
+endpoints, and each newly derived equality transports the similarity edges
+of *both* endpoints.  This is the closure of the generic axioms:
+
+* ``x ≈ y  ∧  x = z   ⟹   z ≈ y``      (equality substitution)
+* ``x = y  ∧  x ≈ z   ⟹   y ≈ z``      (equality transport; with ``≈`` = ``=``
+  this is transitivity of equality)
+
+The fixpoint is validated in tests against the independent union-find model
+:class:`repro.core.matrix.AxiomaticClosure`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .matrix import SimilarityMatrix
+from .md import MatchingDependency, SimilarityAtom
+from .schema import QualifiedAttribute, SchemaPair
+from .similarity import EQUALITY, SimilarityOperator
+
+
+@dataclass
+class ClosureStats:
+    """Bookkeeping produced by a closure computation."""
+
+    mds_fired: int = 0
+    entries_set: int = 0
+    queue_pops: int = 0
+
+
+@dataclass(frozen=True)
+class _Conjunct:
+    """One indexed LHS conjunct of an MD in Σ."""
+
+    md_index: int
+    position: int
+    operator: SimilarityOperator
+
+
+class ClosureEngine:
+    """Reusable ``MDClosure`` evaluator for a fixed Σ over a schema pair.
+
+    Parameters
+    ----------
+    pair:
+        The schema pair ``(R1, R2)``.
+    sigma:
+        The MDs of Σ.  They are normalized internally (one RHS pair each);
+        generality is not lost (Lemmas 3.1, 3.3).
+
+    >>> from repro.core.schema import RelationSchema, SchemaPair
+    >>> from repro.core.md import MatchingDependency
+    >>> pair = SchemaPair(RelationSchema("R", ["A", "B", "C"]),
+    ...                   RelationSchema("R", ["A", "B", "C"]))
+    >>> sigma = [MatchingDependency(pair, [("A", "A", "=")], [("B", "B")]),
+    ...          MatchingDependency(pair, [("B", "B", "=")], [("C", "C")])]
+    >>> phi = MatchingDependency(pair, [("A", "A", "=")], [("C", "C")])
+    >>> ClosureEngine(pair, sigma).deduces(phi)   # Example 3.1 / Lemma 3.3
+    True
+    """
+
+    def __init__(
+        self, pair: SchemaPair, sigma: Iterable[MatchingDependency]
+    ) -> None:
+        self.pair = pair
+        self._mds: List[MatchingDependency] = []
+        for dependency in sigma:
+            if dependency.pair != pair:
+                raise ValueError(
+                    f"MD {dependency} is defined over a different schema pair"
+                )
+            self._mds.extend(dependency.normalize())
+
+        # Static structures shared by every closure query.
+        self._lhs_sizes: List[int] = []
+        self._rhs: List[Tuple[QualifiedAttribute, QualifiedAttribute]] = []
+        self._triggers: Dict[
+            Tuple[QualifiedAttribute, QualifiedAttribute], List[_Conjunct]
+        ] = {}
+        for index, dependency in enumerate(self._mds):
+            self._lhs_sizes.append(len(dependency.lhs))
+            rhs_atom = dependency.rhs[0]
+            self._rhs.append(
+                (pair.left_attr(rhs_atom.left), pair.right_attr(rhs_atom.right))
+            )
+            for position, atom in enumerate(dependency.lhs):
+                key = (pair.left_attr(atom.left), pair.right_attr(atom.right))
+                self._triggers.setdefault(key, []).append(
+                    _Conjunct(index, position, atom.operator)
+                )
+
+    @property
+    def normalized_mds(self) -> Tuple[MatchingDependency, ...]:
+        """Σ in normal form, as the engine indexes it."""
+        return tuple(self._mds)
+
+    # ------------------------------------------------------------------
+    # Closure computation
+    # ------------------------------------------------------------------
+
+    def closure(
+        self, lhs: Sequence[SimilarityAtom]
+    ) -> Tuple[SimilarityMatrix, ClosureStats]:
+        """Compute the closure of Σ and the given LHS conjuncts.
+
+        Returns the similarity matrix ``M`` and computation statistics.
+        """
+        matrix = SimilarityMatrix()
+        stats = ClosureStats()
+        remaining = list(self._lhs_sizes)
+        satisfied = set()  # {(md_index, position)}
+        fired = [False] * len(self._mds)
+        queue = deque()
+
+        def assign(
+            a: QualifiedAttribute, b: QualifiedAttribute, op: SimilarityOperator
+        ) -> None:
+            """The paper's AssignVal: set the entry unless redundant."""
+            if a == b:
+                return
+            if matrix.get(a, b, EQUALITY):
+                return  # = subsumes every operator, nothing to record
+            if not op.is_equality and matrix.get(a, b, op):
+                return
+            matrix.set(a, b, op)
+            stats.entries_set += 1
+            queue.append((a, b, op))
+
+        def notify(
+            a: QualifiedAttribute, b: QualifiedAttribute, op: SimilarityOperator
+        ) -> None:
+            """Decrement waiting counts of conjuncts satisfied by the entry."""
+            key = None
+            if a.side == 0 and b.side == 1:
+                key = (a, b)
+            elif a.side == 1 and b.side == 0:
+                key = (b, a)
+            if key is None:
+                return  # intra-relation entries never match an LHS conjunct
+            for conjunct in self._triggers.get(key, ()):
+                if (conjunct.md_index, conjunct.position) in satisfied:
+                    continue
+                if not op.is_equality and op != conjunct.operator:
+                    continue  # only the exact operator or = satisfies a test
+                satisfied.add((conjunct.md_index, conjunct.position))
+                remaining[conjunct.md_index] -= 1
+                if remaining[conjunct.md_index] == 0 and not fired[conjunct.md_index]:
+                    fired[conjunct.md_index] = True
+                    stats.mds_fired += 1
+                    rhs_left, rhs_right = self._rhs[conjunct.md_index]
+                    assign(rhs_left, rhs_right, EQUALITY)
+
+        def propagate(
+            a: QualifiedAttribute, b: QualifiedAttribute, op: SimilarityOperator
+        ) -> None:
+            """Derive consequences of the new edge under the axioms."""
+            # Equality substitution at both endpoints: z = a gives z op b,
+            # and z = b gives a op z.
+            for z in matrix.neighbours(a, EQUALITY):
+                assign(z, b, op)
+            for z in matrix.neighbours(b, EQUALITY):
+                assign(a, z, op)
+            if op.is_equality:
+                # Equality transport: similarity edges move across the new
+                # equality, in both directions (Lemma 3.4 interactions).
+                for other_op, z in list(matrix.similarity_edges_at(a)):
+                    assign(z, b, other_op)
+                for other_op, z in list(matrix.similarity_edges_at(b)):
+                    assign(a, z, other_op)
+
+        for atom in lhs:
+            assign(
+                self.pair.left_attr(atom.left),
+                self.pair.right_attr(atom.right),
+                atom.operator,
+            )
+        while queue:
+            a, b, op = queue.popleft()
+            stats.queue_pops += 1
+            notify(a, b, op)
+            propagate(a, b, op)
+        return matrix, stats
+
+    # ------------------------------------------------------------------
+    # Deduction queries
+    # ------------------------------------------------------------------
+
+    def deduces(self, phi: MatchingDependency) -> bool:
+        """Decide ``Σ ⊨m φ``.
+
+        True iff every RHS pair of φ is in the closure of Σ and LHS(φ)
+        with equality.
+        """
+        if phi.pair != self.pair:
+            raise ValueError("phi is defined over a different schema pair")
+        matrix, _ = self.closure(phi.lhs)
+        return all(
+            matrix.get(
+                self.pair.left_attr(atom.left),
+                self.pair.right_attr(atom.right),
+                EQUALITY,
+            )
+            for atom in phi.rhs
+        )
+
+
+def deduces(
+    pair: SchemaPair,
+    sigma: Iterable[MatchingDependency],
+    phi: MatchingDependency,
+) -> bool:
+    """One-shot convenience wrapper: ``Σ ⊨m φ``.
+
+    Builds a fresh :class:`ClosureEngine`; when issuing many queries against
+    the same Σ, construct the engine once instead.
+    """
+    return ClosureEngine(pair, sigma).deduces(phi)
+
+
+def md_closure_paper_loop(
+    pair: SchemaPair,
+    sigma: Iterable[MatchingDependency],
+    lhs: Sequence[SimilarityAtom],
+) -> SimilarityMatrix:
+    """The literal repeat-scan loop of Fig. 5 (``O(n²)``), for cross-checks.
+
+    Semantics are identical to :meth:`ClosureEngine.closure`; only the MD
+    application strategy differs (full rescans of Σ until no change instead
+    of conjunct-indexed wake-ups).
+    """
+    normalized: List[MatchingDependency] = []
+    for dependency in sigma:
+        normalized.extend(dependency.normalize())
+
+    matrix = SimilarityMatrix()
+    queue = deque()
+
+    def assign(a, b, op) -> None:
+        if a == b or matrix.get(a, b, EQUALITY):
+            return
+        if not op.is_equality and matrix.get(a, b, op):
+            return
+        matrix.set(a, b, op)
+        queue.append((a, b, op))
+
+    def drain() -> None:
+        while queue:
+            a, b, op = queue.popleft()
+            for z in matrix.neighbours(a, EQUALITY):
+                assign(z, b, op)
+            for z in matrix.neighbours(b, EQUALITY):
+                assign(a, z, op)
+            if op.is_equality:
+                for other_op, z in list(matrix.similarity_edges_at(a)):
+                    assign(z, b, other_op)
+                for other_op, z in list(matrix.similarity_edges_at(b)):
+                    assign(a, z, other_op)
+
+    for atom in lhs:
+        assign(pair.left_attr(atom.left), pair.right_attr(atom.right), atom.operator)
+    drain()
+
+    pending = list(normalized)
+    changed = True
+    while changed:
+        changed = False
+        still_pending = []
+        for dependency in pending:
+            lhs_matched = all(
+                matrix.holds(
+                    pair.left_attr(atom.left),
+                    pair.right_attr(atom.right),
+                    atom.operator,
+                )
+                for atom in dependency.lhs
+            )
+            if not lhs_matched:
+                still_pending.append(dependency)
+                continue
+            rhs_atom = dependency.rhs[0]
+            assign(
+                pair.left_attr(rhs_atom.left),
+                pair.right_attr(rhs_atom.right),
+                EQUALITY,
+            )
+            drain()
+            changed = True
+        pending = still_pending
+    return matrix

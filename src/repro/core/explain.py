@@ -1,0 +1,273 @@
+"""Explainable deduction: *why* does Σ ⊨m φ hold?
+
+``MDClosure`` answers yes/no; rule authors debugging a surprising
+deduction (or its absence) need the derivation.  This module re-runs the
+closure with provenance: every derived fact carries a justification —
+
+* ``premise``: asserted by LHS(φ);
+* ``fired``: produced by an MD of Σ whose LHS tests are all satisfied
+  (with pointers to the facts that satisfied them);
+* ``equality``: derived from two parent facts by the equality axioms
+  (substitution/transport).
+
+:func:`explain` returns a :class:`Explanation` whose ``steps`` are in
+derivation order and print as a proof trace like Example 4.1's table.
+Tracing costs more than the production engine, so it lives here rather
+than in :mod:`repro.core.closure`; tests assert both agree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .md import MatchingDependency, SimilarityAtom
+from .schema import QualifiedAttribute, SchemaPair
+from .similarity import EQUALITY, SimilarityOperator
+
+#: A derived fact: (attribute, attribute, operator), symmetric in a, b.
+Fact = Tuple[QualifiedAttribute, QualifiedAttribute, SimilarityOperator]
+
+
+def _canonical(fact: Fact) -> Fact:
+    a, b, op = fact
+    if (b.side, b.relation, b.attribute) < (a.side, a.relation, a.attribute):
+        return (b, a, op)
+    return fact
+
+
+@dataclass(frozen=True)
+class Step:
+    """One derivation step."""
+
+    fact: Fact
+    kind: str  # "premise" | "fired" | "equality"
+    rule: Optional[MatchingDependency] = None
+    parents: Tuple[Fact, ...] = ()
+
+    def render(self) -> str:
+        a, b, op = self.fact
+        fact_text = f"{a.display} {op} {b.display}"
+        if self.kind == "premise":
+            return f"{fact_text}    [premise]"
+        if self.kind == "fired":
+            return f"{fact_text}    [by MD: {self.rule}]"
+        parent_text = "; ".join(
+            f"{pa.display} {pop} {pb.display}" for pa, pb, pop in self.parents
+        )
+        return f"{fact_text}    [equality axioms from: {parent_text}]"
+
+
+@dataclass
+class Explanation:
+    """The outcome of :func:`explain`."""
+
+    deduced: bool
+    phi: MatchingDependency
+    steps: List[Step] = field(default_factory=list)
+
+    def render(self) -> str:
+        """A readable proof trace (or a failure report)."""
+        header = (
+            f"Sigma |=m phi: {self.deduced}\n"
+            f"phi: {self.phi}\n"
+        )
+        if not self.deduced:
+            missing = ", ".join(
+                f"{atom.left}~{atom.right}" for atom in self.phi.rhs
+            )
+            return header + (
+                f"No derivation reaches every RHS pair ({missing}); "
+                f"{len(self.steps)} fact(s) were derivable from the premise."
+            )
+        lines = [header + "Derivation:"]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(f"  {index:>3}. {step.render()}")
+        return "\n".join(lines)
+
+    def rules_used(self) -> List[MatchingDependency]:
+        """The MDs of Σ that appear in the derivation, in firing order."""
+        seen = []
+        for step in self.steps:
+            if step.kind == "fired" and step.rule not in seen:
+                seen.append(step.rule)
+        return seen
+
+
+class _TracingClosure:
+    """A closure run that records one justification per derived fact."""
+
+    def __init__(self, pair: SchemaPair, sigma: Sequence[MatchingDependency]):
+        self.pair = pair
+        self.sigma: List[MatchingDependency] = []
+        for dependency in sigma:
+            self.sigma.extend(dependency.normalize())
+        self.justification: Dict[Fact, Step] = {}
+        self._queue: deque = deque()
+
+    def _holds(self, a, b, op) -> bool:
+        if a == b:
+            return True
+        if _canonical((a, b, op)) in self.justification:
+            return True
+        return _canonical((a, b, EQUALITY)) in self.justification
+
+    def _add(self, fact: Fact, step: Step) -> None:
+        fact = _canonical(fact)
+        a, b, op = fact
+        if a == b or self._holds(a, b, op):
+            return
+        self.justification[fact] = step
+        self._queue.append(fact)
+
+    def run(self, lhs: Sequence[SimilarityAtom]) -> None:
+        for atom in lhs:
+            fact = (
+                self.pair.left_attr(atom.left),
+                self.pair.right_attr(atom.right),
+                atom.operator,
+            )
+            self._add(fact, Step(_canonical(fact), "premise"))
+        pending = list(self.sigma)
+        progress = True
+        while progress:
+            self._drain()
+            progress = False
+            still = []
+            for dependency in pending:
+                satisfied_by: List[Fact] = []
+                ok = True
+                for atom in dependency.lhs:
+                    a = self.pair.left_attr(atom.left)
+                    b = self.pair.right_attr(atom.right)
+                    if _canonical((a, b, EQUALITY)) in self.justification:
+                        satisfied_by.append(_canonical((a, b, EQUALITY)))
+                    elif _canonical((a, b, atom.operator)) in self.justification:
+                        satisfied_by.append(_canonical((a, b, atom.operator)))
+                    else:
+                        ok = False
+                        break
+                if not ok:
+                    still.append(dependency)
+                    continue
+                rhs_atom = dependency.rhs[0]
+                fact = (
+                    self.pair.left_attr(rhs_atom.left),
+                    self.pair.right_attr(rhs_atom.right),
+                    EQUALITY,
+                )
+                self._add(
+                    fact,
+                    Step(
+                        _canonical(fact),
+                        "fired",
+                        rule=dependency,
+                        parents=tuple(satisfied_by),
+                    ),
+                )
+                progress = True
+            pending = still
+
+    def _drain(self) -> None:
+        """Close under the equality axioms, justifying each new fact."""
+        while self._queue:
+            fact = self._queue.popleft()
+            a, b, op = fact
+            # Combine with every equality fact sharing an endpoint
+            # (substitution), and, when this fact is an equality, carry
+            # similarity facts across it (transport).
+            for other in list(self.justification):
+                oa, ob, oop = other
+                if oop.is_equality:
+                    for x, y in ((oa, ob), (ob, oa)):
+                        if x == a:
+                            self._add(
+                                (y, b, op),
+                                Step(
+                                    _canonical((y, b, op)),
+                                    "equality",
+                                    parents=(fact, other),
+                                ),
+                            )
+                        if x == b:
+                            self._add(
+                                (a, y, op),
+                                Step(
+                                    _canonical((a, y, op)),
+                                    "equality",
+                                    parents=(fact, other),
+                                ),
+                            )
+                if op.is_equality and not oop.is_equality:
+                    for x, y in ((a, b), (b, a)):
+                        if oa == x:
+                            self._add(
+                                (y, ob, oop),
+                                Step(
+                                    _canonical((y, ob, oop)),
+                                    "equality",
+                                    parents=(other, fact),
+                                ),
+                            )
+                        if ob == x:
+                            self._add(
+                                (oa, y, oop),
+                                Step(
+                                    _canonical((oa, y, oop)),
+                                    "equality",
+                                    parents=(other, fact),
+                                ),
+                            )
+
+
+def explain(
+    pair: SchemaPair,
+    sigma: Sequence[MatchingDependency],
+    phi: MatchingDependency,
+) -> Explanation:
+    """Decide Σ ⊨m φ and return the derivation (or a failure report).
+
+    The returned steps are the *relevant* ones: facts on which some RHS
+    pair of φ transitively depends, in a valid derivation order.
+    """
+    tracer = _TracingClosure(pair, sigma)
+    tracer.run(phi.lhs)
+
+    goals: List[Fact] = []
+    deduced = True
+    for atom in phi.rhs:
+        fact = _canonical(
+            (
+                pair.left_attr(atom.left),
+                pair.right_attr(atom.right),
+                EQUALITY,
+            )
+        )
+        if fact in tracer.justification:
+            goals.append(fact)
+        else:
+            deduced = False
+
+    explanation = Explanation(deduced=deduced, phi=phi)
+    if not deduced:
+        explanation.steps = list(tracer.justification.values())
+        return explanation
+
+    # Backward slice from the goals, then emit in derivation order.
+    needed: List[Fact] = []
+    seen = set()
+    frontier = list(goals)
+    while frontier:
+        fact = frontier.pop()
+        if fact in seen:
+            continue
+        seen.add(fact)
+        needed.append(fact)
+        step = tracer.justification[fact]
+        frontier.extend(step.parents)
+
+    order = {fact: index for index, fact in enumerate(tracer.justification)}
+    needed.sort(key=lambda fact: order[fact])
+    explanation.steps = [tracer.justification[fact] for fact in needed]
+    return explanation

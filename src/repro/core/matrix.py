@@ -1,0 +1,252 @@
+"""The similarity matrix ``M`` of Section 4, plus a reference closure model.
+
+Algorithm ``MDClosure`` stores the closure of Σ and LHS(φ) in an
+``h × h × p`` array ``M`` indexed by two qualified attributes and a
+similarity operator: ``M(R[A], R'[B], ≈) = 1`` iff
+``Σ ⊨m LHS(φ) → R[A] ≈ R'[B]``.  Entries are symmetric in the two
+attributes, and both intra-relation (``R = R'``) and cross-relation entries
+occur — Lemma 3.4 shows intra-relation facts arise from the interaction of
+the matching operator with equality and similarity.
+
+:class:`SimilarityMatrix` implements the array with sparse adjacency sets so
+neighbour scans (the heart of ``Propagate``/``Infer``) are proportional to
+the number of set entries rather than ``h``.
+
+:class:`AxiomaticClosure` is an *independent* model of the same facts,
+implemented directly from the generic axioms of Section 2.1:
+
+* ``=`` edges form equivalence classes (a union-find);
+* a ``≈`` edge relates two classes (because ``x ≈ y ∧ y = z ⟹ x ≈ z``);
+* ``M(a, b, ≈) = 1`` iff ``class(a) = class(b)`` or the classes are
+  ``≈``-linked.
+
+Property-based tests assert that the queue-driven matrix closure and this
+union-find model always agree; see ``tests/core/test_closure_reference.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from .schema import QualifiedAttribute
+from .similarity import EQUALITY, SimilarityOperator
+
+
+class SimilarityMatrix:
+    """Sparse, symmetric storage for the closure array ``M``.
+
+    Entries are triples ``(a, b, op)`` with ``a``, ``b`` qualified
+    attributes and ``op`` a similarity operator.  Reflexive facts
+    (``a op a``) are implicitly true and never stored.
+    """
+
+    def __init__(self) -> None:
+        # op -> attribute -> set of neighbours under that operator.
+        self._links: Dict[
+            SimilarityOperator, Dict[QualifiedAttribute, Set[QualifiedAttribute]]
+        ] = {}
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def set(
+        self,
+        a: QualifiedAttribute,
+        b: QualifiedAttribute,
+        op: SimilarityOperator,
+    ) -> bool:
+        """Set ``M(a, b, op) = M(b, a, op) = 1``.
+
+        Returns ``True`` when the entry was newly set, ``False`` when it was
+        already present or trivially reflexive.  This is the storage half of
+        the paper's ``AssignVal``; the equality-subsumption check (skip
+        setting ``≈`` when ``=`` already holds) is done by the caller so the
+        matrix itself stays a dumb array.
+        """
+        if a == b:
+            return False
+        by_attr = self._links.setdefault(op, {})
+        neighbours = by_attr.setdefault(a, set())
+        if b in neighbours:
+            return False
+        neighbours.add(b)
+        by_attr.setdefault(b, set()).add(a)
+        self._entry_count += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get(
+        self,
+        a: QualifiedAttribute,
+        b: QualifiedAttribute,
+        op: SimilarityOperator,
+    ) -> bool:
+        """Raw array lookup: is the entry ``(a, b, op)`` set?
+
+        Reflexive pairs are always true.  No equality subsumption — use
+        :meth:`holds` for the axiom-aware query.
+        """
+        if a == b:
+            return True
+        by_attr = self._links.get(op)
+        if by_attr is None:
+            return False
+        neighbours = by_attr.get(a)
+        return neighbours is not None and b in neighbours
+
+    def holds(
+        self,
+        a: QualifiedAttribute,
+        b: QualifiedAttribute,
+        op: SimilarityOperator,
+    ) -> bool:
+        """Axiom-aware query: ``(a, b, op)`` set, or subsumed by equality."""
+        if self.get(a, b, op):
+            return True
+        if not op.is_equality:
+            return self.get(a, b, EQUALITY)
+        return False
+
+    def neighbours(
+        self, a: QualifiedAttribute, op: SimilarityOperator
+    ) -> FrozenSet[QualifiedAttribute]:
+        """All ``b`` with the entry ``(a, b, op)`` set (excluding ``a``)."""
+        by_attr = self._links.get(op)
+        if by_attr is None:
+            return frozenset()
+        return frozenset(by_attr.get(a, ()))
+
+    def operators_between(
+        self, a: QualifiedAttribute, b: QualifiedAttribute
+    ) -> FrozenSet[SimilarityOperator]:
+        """All operators with a set entry between ``a`` and ``b``."""
+        found = set()
+        for op, by_attr in self._links.items():
+            neighbours = by_attr.get(a)
+            if neighbours is not None and b in neighbours:
+                found.add(op)
+        return frozenset(found)
+
+    def similarity_edges_at(
+        self, a: QualifiedAttribute
+    ) -> Iterator[Tuple[SimilarityOperator, QualifiedAttribute]]:
+        """Iterate ``(op, b)`` over all non-equality entries touching ``a``."""
+        for op, by_attr in self._links.items():
+            if op.is_equality:
+                continue
+            for b in by_attr.get(a, ()):
+                yield op, b
+
+    def entries(
+        self,
+    ) -> Iterator[Tuple[QualifiedAttribute, QualifiedAttribute, SimilarityOperator]]:
+        """Iterate every set entry once (each symmetric pair reported once)."""
+        for op, by_attr in self._links.items():
+            seen = set()
+            for a, neighbours in by_attr.items():
+                for b in neighbours:
+                    key = frozenset((a, b))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield a, b, op
+
+    @property
+    def entry_count(self) -> int:
+        """Number of distinct symmetric entries set so far."""
+        return self._entry_count
+
+    def __len__(self) -> int:
+        return self._entry_count
+
+
+class AxiomaticClosure:
+    """Union-find model of the generic similarity axioms.
+
+    Used as an oracle to validate :class:`SimilarityMatrix`-based closures:
+    both must derive exactly the same facts from the same base edges.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[QualifiedAttribute, QualifiedAttribute] = {}
+        self._rank: Dict[QualifiedAttribute, int] = {}
+        # op -> set of frozensets {root_a, root_b} linking two classes.
+        self._sim: Dict[SimilarityOperator, Set[FrozenSet[QualifiedAttribute]]] = {}
+
+    # -- union-find ----------------------------------------------------
+
+    def _find(self, a: QualifiedAttribute) -> QualifiedAttribute:
+        parent = self._parent
+        if a not in parent:
+            parent[a] = a
+            self._rank[a] = 0
+            return a
+        root = a
+        while parent[root] != root:
+            root = parent[root]
+        while parent[a] != root:  # path compression
+            parent[a], a = root, parent[a]
+        return root
+
+    def _union(self, a: QualifiedAttribute, b: QualifiedAttribute) -> None:
+        root_a, root_b = self._find(a), self._find(b)
+        if root_a == root_b:
+            return
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        # Re-root similarity links that mentioned the absorbed root.
+        for links in self._sim.values():
+            stale = [link for link in links if root_b in link]
+            for link in stale:
+                links.discard(link)
+                others = [attr for attr in link if attr != root_b]
+                other = others[0] if others else root_a
+                new_other = self._find(other)
+                if new_other != root_a:
+                    links.add(frozenset((root_a, new_other)))
+
+    # -- public API ------------------------------------------------------
+
+    def add(
+        self,
+        a: QualifiedAttribute,
+        b: QualifiedAttribute,
+        op: SimilarityOperator,
+    ) -> None:
+        """Assert the base fact ``a op b``."""
+        if op.is_equality:
+            self._union(a, b)
+        else:
+            root_a, root_b = self._find(a), self._find(b)
+            if root_a != root_b:
+                self._sim.setdefault(op, set()).add(frozenset((root_a, root_b)))
+
+    def holds(
+        self,
+        a: QualifiedAttribute,
+        b: QualifiedAttribute,
+        op: SimilarityOperator,
+    ) -> bool:
+        """Is ``a op b`` derivable from the asserted facts and the axioms?"""
+        root_a, root_b = self._find(a), self._find(b)
+        if root_a == root_b:
+            return True  # reflexivity / equality, which every op subsumes
+        if op.is_equality:
+            return False
+        links = self._sim.get(op)
+        return links is not None and frozenset((root_a, root_b)) in links
+
+    def equivalence_classes(self) -> Iterable[FrozenSet[QualifiedAttribute]]:
+        """The equality classes over every attribute seen so far."""
+        classes: Dict[QualifiedAttribute, Set[QualifiedAttribute]] = {}
+        for attr in list(self._parent):
+            classes.setdefault(self._find(attr), set()).add(attr)
+        return [frozenset(members) for members in classes.values()]

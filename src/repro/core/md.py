@@ -1,0 +1,263 @@
+"""Matching dependencies (MDs) — the paper's core formalism (Section 2.1).
+
+An MD over a schema pair ``(R1, R2)`` has the form::
+
+    ⋀_{j∈[1,k]} R1[X1[j]] ≈_j R2[X2[j]]   →   R1[Z1] ⇌ R2[Z2]
+
+where ``(X1, X2)`` and ``(Z1, Z2)`` are comparable attribute lists and each
+``≈_j`` is a similarity operator in Θ.  The left-hand side (LHS) is a
+conjunction of per-position similarity tests; the right-hand side (RHS)
+asserts that the ``Z`` attributes must be *identified* (the matching
+operator ``⇌``, written ``<=>`` in our concrete syntax).
+
+The *dynamic semantics* — what it means for a pair of instances to satisfy
+an MD — lives in :mod:`repro.core.semantics`; this module is the purely
+syntactic layer used by the reasoning algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .schema import SchemaPair
+from .similarity import EQUALITY, SimilarityOperator, as_operator
+
+
+@dataclass(frozen=True, order=True)
+class SimilarityAtom:
+    """One conjunct ``R1[left] ≈ R2[right]`` of an MD's LHS.
+
+    ``left`` is always an attribute of the left schema of the pair and
+    ``right`` of the right schema; the operator is symbolic.
+    """
+
+    left: str
+    right: str
+    operator: SimilarityOperator
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.operator} {self.right}"
+
+    def with_operator(self, operator: SimilarityOperator) -> "SimilarityAtom":
+        """Return a copy of this atom with a different operator."""
+        return SimilarityAtom(self.left, self.right, operator)
+
+    @property
+    def attribute_pair(self) -> Tuple[str, str]:
+        """The ``(left, right)`` attribute names without the operator."""
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, order=True)
+class IdentificationAtom:
+    """One RHS pair ``R1[left] ⇌ R2[right]`` to be identified."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left} <=> {self.right}"
+
+    @property
+    def attribute_pair(self) -> Tuple[str, str]:
+        """The ``(left, right)`` attribute names."""
+        return (self.left, self.right)
+
+
+class MatchingDependency:
+    """A matching dependency bound to a schema pair.
+
+    Parameters
+    ----------
+    pair:
+        The schema pair ``(R1, R2)`` the MD is defined over.
+    lhs:
+        Iterable of LHS conjuncts; each element is a
+        :class:`SimilarityAtom` or a ``(left, right, operator)`` triple
+        where the operator may be a string name (e.g. ``"="``,
+        ``"dl(0.8)"``).
+    rhs:
+        Iterable of RHS pairs; each element is an
+        :class:`IdentificationAtom` or a ``(left, right)`` pair.
+
+    The constructor validates that the LHS and RHS lists are comparable
+    over the pair and that the LHS is non-empty (an MD with an empty
+    premise would identify everything unconditionally) and duplicate-free.
+
+    >>> from repro.core.schema import RelationSchema, SchemaPair
+    >>> pair = SchemaPair(RelationSchema("credit", ["tel", "addr"]),
+    ...                   RelationSchema("billing", ["phn", "post"]))
+    >>> md = MatchingDependency(pair, [("tel", "phn", "=")],
+    ...                         [("addr", "post")])
+    >>> print(md)
+    credit[tel] = billing[phn] -> credit[addr] <=> billing[post]
+    """
+
+    def __init__(self, pair: SchemaPair, lhs: Iterable, rhs: Iterable) -> None:
+        self.pair = pair
+        self.lhs: Tuple[SimilarityAtom, ...] = tuple(
+            self._coerce_lhs_atom(atom) for atom in lhs
+        )
+        self.rhs: Tuple[IdentificationAtom, ...] = tuple(
+            self._coerce_rhs_atom(atom) for atom in rhs
+        )
+        self._validate()
+
+    @staticmethod
+    def _coerce_lhs_atom(atom) -> SimilarityAtom:
+        if isinstance(atom, SimilarityAtom):
+            return atom
+        left, right, operator = atom
+        return SimilarityAtom(left, right, as_operator(operator))
+
+    @staticmethod
+    def _coerce_rhs_atom(atom) -> IdentificationAtom:
+        if isinstance(atom, IdentificationAtom):
+            return atom
+        left, right = atom
+        return IdentificationAtom(left, right)
+
+    def _validate(self) -> None:
+        if not self.lhs:
+            raise ValueError("an MD must have a non-empty LHS")
+        if not self.rhs:
+            raise ValueError("an MD must have a non-empty RHS")
+        self.pair.require_comparable(
+            [atom.left for atom in self.lhs],
+            [atom.right for atom in self.lhs],
+        )
+        self.pair.require_comparable(
+            [atom.left for atom in self.rhs],
+            [atom.right for atom in self.rhs],
+        )
+        seen_lhs = set()
+        for atom in self.lhs:
+            key = (atom.left, atom.right, atom.operator)
+            if key in seen_lhs:
+                raise ValueError(f"duplicate LHS conjunct: {atom}")
+            seen_lhs.add(key)
+        seen_rhs = set()
+        for atom in self.rhs:
+            key = atom.attribute_pair
+            if key in seen_rhs:
+                raise ValueError(f"duplicate RHS pair: {atom}")
+            seen_rhs.add(key)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def is_normal_form(self) -> bool:
+        """True when the RHS is a single attribute pair (Section 4)."""
+        return len(self.rhs) == 1
+
+    def normalize(self) -> List["MatchingDependency"]:
+        """Split into equivalent normal-form MDs, one per RHS pair.
+
+        By Lemmas 3.1 and 3.3 an MD with RHS ``(Z1, Z2)`` is equivalent to
+        the set of MDs with the same LHS and a single RHS pair each.
+        """
+        if self.is_normal_form:
+            return [self]
+        return [
+            MatchingDependency(self.pair, self.lhs, [atom]) for atom in self.rhs
+        ]
+
+    def lhs_attribute_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """The LHS ``(left, right)`` pairs, without operators."""
+        return tuple(atom.attribute_pair for atom in self.lhs)
+
+    def rhs_attribute_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """The RHS ``(left, right)`` pairs."""
+        return tuple(atom.attribute_pair for atom in self.rhs)
+
+    def operators(self) -> Tuple[SimilarityOperator, ...]:
+        """The similarity operators used in the LHS, in order."""
+        return tuple(atom.operator for atom in self.lhs)
+
+    @property
+    def size(self) -> int:
+        """The number of atoms, the unit of the paper's input size ``n``."""
+        return len(self.lhs) + len(self.rhs)
+
+    def with_extra_lhs(
+        self, left: str, right: str, operator
+    ) -> "MatchingDependency":
+        """Augment the LHS with one more similarity test (Lemma 3.1).
+
+        If the new conjunct already appears, the MD is returned unchanged.
+        """
+        new_atom = SimilarityAtom(left, right, as_operator(operator))
+        if new_atom in self.lhs:
+            return self
+        return MatchingDependency(self.pair, self.lhs + (new_atom,), self.rhs)
+
+    # ------------------------------------------------------------------
+    # Equality / rendering
+    # ------------------------------------------------------------------
+
+    def _key(self):
+        return (
+            self.pair.left.name,
+            self.pair.right.name,
+            frozenset(self.lhs),
+            frozenset(self.rhs),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchingDependency):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        left_name = self.pair.left.name
+        right_name = self.pair.right.name
+        lhs_text = " & ".join(
+            f"{left_name}[{atom.left}] {atom.operator} {right_name}[{atom.right}]"
+            for atom in self.lhs
+        )
+        rhs_text = " & ".join(
+            f"{left_name}[{atom.left}] <=> {right_name}[{atom.right}]"
+            for atom in self.rhs
+        )
+        return f"{lhs_text} -> {rhs_text}"
+
+    def __repr__(self) -> str:
+        return f"MatchingDependency({self!s})"
+
+
+def md(
+    pair: SchemaPair,
+    lhs: Sequence,
+    rhs: Sequence,
+) -> MatchingDependency:
+    """Shorthand constructor for :class:`MatchingDependency`.
+
+    >>> from repro.core.schema import RelationSchema, SchemaPair
+    >>> pair = SchemaPair(RelationSchema("R", ["A", "B"]),
+    ...                   RelationSchema("R", ["A", "B"]))
+    >>> str(md(pair, [("A", "A", "=")], [("B", "B")]))
+    'R[A] = R[A] -> R[B] <=> R[B]'
+    """
+    return MatchingDependency(pair, lhs, rhs)
+
+
+def total_size(mds: Iterable[MatchingDependency]) -> int:
+    """The paper's ``n``: total number of atoms across a set of MDs."""
+    return sum(dependency.size for dependency in mds)
+
+
+def equality_md(
+    pair: SchemaPair, lhs_pairs: Sequence[Tuple[str, str]], rhs_pairs: Sequence[Tuple[str, str]]
+) -> MatchingDependency:
+    """Build an MD whose LHS tests are all plain equality."""
+    return MatchingDependency(
+        pair,
+        [(left, right, EQUALITY) for left, right in lhs_pairs],
+        list(rhs_pairs),
+    )

@@ -1,0 +1,158 @@
+"""Concrete text syntax for matching dependencies.
+
+MDs are dataclass-built in code, but experiments and examples are easier to
+read with a one-line syntax close to the paper's::
+
+    credit[LN] = billing[LN] & credit[FN] ~dl(0.8) billing[FN]
+        -> credit[addr] <=> billing[post] & credit[FN] <=> billing[FN]
+
+* LHS conjuncts are joined with ``&``; each is ``rel[attr] OP rel[attr]``
+  where ``OP`` is ``=`` (equality) or ``~metric(theta)`` (a thresholded
+  similarity operator, resolved by name at match time).
+* ``->`` separates LHS from RHS; RHS pairs use the matching operator,
+  written ``<=>``.
+* The left operand of every atom must come from the pair's left schema and
+  the right operand from the right schema — the parser validates relation
+  names and attribute existence and reports precise positions.
+
+:func:`format_md` is the inverse, producing parseable text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .md import MatchingDependency
+from .schema import SchemaPair
+from .similarity import EQUALITY, SimilarityOperator
+
+_ATOM_RE = re.compile(
+    r"""^\s*
+        (?P<left_rel>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<left_attr>[^\]]+?)\s*\]
+        \s*(?P<op><=>|=|~[A-Za-z][A-Za-z0-9_]*\(\s*[0-9.]+\s*\))\s*
+        (?P<right_rel>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<right_attr>[^\]]+?)\s*\]
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+class MDSyntaxError(ValueError):
+    """Raised when MD text cannot be parsed or validated."""
+
+
+def _parse_atom(
+    text: str, pair: SchemaPair, expect_matching: bool
+) -> Tuple[str, str, str]:
+    """Parse one atom; returns (left_attr, right_attr, operator_name)."""
+    match = _ATOM_RE.match(text)
+    if match is None:
+        raise MDSyntaxError(f"cannot parse atom {text.strip()!r}")
+    left_rel = match.group("left_rel")
+    right_rel = match.group("right_rel")
+    if left_rel != pair.left.name:
+        raise MDSyntaxError(
+            f"atom {text.strip()!r}: left relation {left_rel!r} is not the "
+            f"pair's left schema {pair.left.name!r}"
+        )
+    if right_rel != pair.right.name:
+        raise MDSyntaxError(
+            f"atom {text.strip()!r}: right relation {right_rel!r} is not the "
+            f"pair's right schema {pair.right.name!r}"
+        )
+    operator_text = match.group("op")
+    if expect_matching:
+        if operator_text != "<=>":
+            raise MDSyntaxError(
+                f"RHS atom {text.strip()!r} must use the matching operator '<=>'"
+            )
+        operator_name = "<=>"
+    else:
+        if operator_text == "<=>":
+            raise MDSyntaxError(
+                f"LHS atom {text.strip()!r} cannot use the matching operator"
+            )
+        if operator_text == "=":
+            operator_name = EQUALITY.name
+        else:
+            # strip the leading '~' and normalize inner spacing
+            operator_name = re.sub(r"\s+", "", operator_text[1:])
+    left_attr = match.group("left_attr")
+    right_attr = match.group("right_attr")
+    if left_attr not in pair.left:
+        raise MDSyntaxError(
+            f"atom {text.strip()!r}: {left_attr!r} is not an attribute of "
+            f"{pair.left.name!r}"
+        )
+    if right_attr not in pair.right:
+        raise MDSyntaxError(
+            f"atom {text.strip()!r}: {right_attr!r} is not an attribute of "
+            f"{pair.right.name!r}"
+        )
+    return left_attr, right_attr, operator_name
+
+
+def parse_md(text: str, pair: SchemaPair) -> MatchingDependency:
+    """Parse one MD from text over the given schema pair.
+
+    >>> from repro.core.schema import RelationSchema, SchemaPair
+    >>> pair = SchemaPair(RelationSchema("credit", ["tel", "addr"]),
+    ...                   RelationSchema("billing", ["phn", "post"]))
+    >>> md = parse_md("credit[tel] = billing[phn] -> credit[addr] <=> billing[post]", pair)
+    >>> md.lhs[0].operator.name
+    '='
+    """
+    parts = text.split("->")
+    if len(parts) != 2:
+        raise MDSyntaxError(
+            f"an MD needs exactly one '->', found {len(parts) - 1} in {text!r}"
+        )
+    lhs_text, rhs_text = parts
+    lhs: List[Tuple[str, str, SimilarityOperator]] = []
+    for atom_text in lhs_text.split("&"):
+        left_attr, right_attr, operator_name = _parse_atom(
+            atom_text, pair, expect_matching=False
+        )
+        lhs.append((left_attr, right_attr, SimilarityOperator(operator_name)))
+    rhs: List[Tuple[str, str]] = []
+    for atom_text in rhs_text.split("&"):
+        left_attr, right_attr, _ = _parse_atom(
+            atom_text, pair, expect_matching=True
+        )
+        rhs.append((left_attr, right_attr))
+    return MatchingDependency(pair, lhs, rhs)
+
+
+def parse_mds(text: str, pair: SchemaPair) -> List[MatchingDependency]:
+    """Parse multiple MDs: one per non-empty, non-comment (``#``) line."""
+    dependencies = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            dependencies.append(parse_md(stripped, pair))
+        except MDSyntaxError as error:
+            raise MDSyntaxError(f"line {line_number}: {error}") from None
+    return dependencies
+
+
+def format_md(dependency: MatchingDependency) -> str:
+    """Render an MD as parseable text (inverse of :func:`parse_md`)."""
+    left_name = dependency.pair.left.name
+    right_name = dependency.pair.right.name
+
+    def lhs_atom(atom) -> str:
+        operator = (
+            "=" if atom.operator.is_equality else f"~{atom.operator.name}"
+        )
+        return (
+            f"{left_name}[{atom.left}] {operator} {right_name}[{atom.right}]"
+        )
+
+    lhs_text = " & ".join(lhs_atom(atom) for atom in dependency.lhs)
+    rhs_text = " & ".join(
+        f"{left_name}[{atom.left}] <=> {right_name}[{atom.right}]"
+        for atom in dependency.rhs
+    )
+    return f"{lhs_text} -> {rhs_text}"

@@ -1,0 +1,134 @@
+"""The quality/cost model used to select RCKs (Section 5).
+
+``findRCKs`` cannot enumerate all RCKs (there may be exponentially many, as
+for traditional candidate keys [24]), so it greedily builds *quality* RCKs
+guided by a per-attribute-pair cost::
+
+    cost(R1[A], R2[B]) = w1 · ct(R1[A], R2[B])     (diversity counter)
+                       + w2 · lt(R1[A], R2[B])     (average value length)
+                       + w3 / ac(R1[A], R2[B])     (user-assessed accuracy)
+
+* ``ct`` counts how often the pair already occurs in selected RCKs; rising
+  cost steers later keys towards *different* attributes, so that errors in
+  some attributes can be compensated by keys over others.
+* ``lt`` is the average length of the attribute values — longer values are
+  more error-prone.
+* ``ac`` is the confidence the user places in the pair — more reliable
+  pairs are cheaper.
+
+The paper's experiments use ``w1 = w2 = w3 = 1`` and ``ac ≡ 1``
+(Section 6.1); those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+#: An attribute pair ``(R1[A], R2[B])`` by plain names.
+AttributePair = Tuple[str, str]
+
+
+@dataclass
+class CostModel:
+    """Mutable cost bookkeeping for ``findRCKs``.
+
+    Parameters
+    ----------
+    w1, w2, w3:
+        Weights of the diversity, length and accuracy terms.
+    lengths:
+        ``lt`` statistics per pair; missing pairs default to 0 (no length
+        penalty).
+    accuracies:
+        ``ac`` statistics per pair in ``(0, 1]``; missing pairs default
+        to 1 (fully trusted).
+
+    >>> model = CostModel()
+    >>> model.cost(("email", "email"))
+    1.0
+    >>> model.increment([("email", "email")])
+    >>> model.cost(("email", "email"))
+    2.0
+    """
+
+    w1: float = 1.0
+    w2: float = 1.0
+    w3: float = 1.0
+    lengths: Dict[AttributePair, float] = field(default_factory=dict)
+    accuracies: Dict[AttributePair, float] = field(default_factory=dict)
+    _counters: Dict[AttributePair, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pair, accuracy in self.accuracies.items():
+            if not 0.0 < accuracy <= 1.0:
+                raise ValueError(
+                    f"accuracy for {pair} must be in (0, 1], got {accuracy}"
+                )
+
+    # ------------------------------------------------------------------
+    # Counters (the diversity term)
+    # ------------------------------------------------------------------
+
+    def reset_counters(self, pairs: Iterable[AttributePair]) -> None:
+        """Zero the ``ct`` counters for the given pairs (findRCKs line 2)."""
+        self._counters = {pair: 0 for pair in pairs}
+
+    def increment(self, pairs: Iterable[AttributePair]) -> None:
+        """``incrementCt``: bump the counter of each pair by one."""
+        for pair in pairs:
+            self._counters[pair] = self._counters.get(pair, 0) + 1
+
+    def counter(self, pair: AttributePair) -> int:
+        """Current ``ct`` value of a pair."""
+        return self._counters.get(pair, 0)
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+
+    def cost(self, pair: AttributePair) -> float:
+        """The cost of including ``pair`` in an RCK."""
+        ct = self._counters.get(pair, 0)
+        lt = self.lengths.get(pair, 0.0)
+        ac = self.accuracies.get(pair, 1.0)
+        return self.w1 * ct + self.w2 * lt + self.w3 / ac
+
+    def lhs_cost(self, pairs: Iterable[AttributePair]) -> float:
+        """Total cost of a list of pairs (used by ``sortMD``)."""
+        return sum(self.cost(pair) for pair in pairs)
+
+
+def length_statistics_from_rows(
+    pairs: Iterable[AttributePair],
+    left_rows: Iterable[dict],
+    right_rows: Iterable[dict],
+) -> Dict[AttributePair, float]:
+    """Estimate the ``lt`` statistic from instance data.
+
+    For each attribute pair, the mean string length of the non-null values
+    of both attributes across the given rows.  Useful when real data is
+    available at compile time; the paper's experiments set ``w2 = 1`` with
+    synthetic statistics, so this helper is optional.
+    """
+    pairs = list(pairs)
+    totals: Dict[AttributePair, float] = {pair: 0.0 for pair in pairs}
+    counts: Dict[AttributePair, int] = {pair: 0 for pair in pairs}
+    left_rows = list(left_rows)
+    right_rows = list(right_rows)
+    for pair in pairs:
+        left_attr, right_attr = pair
+        for row in left_rows:
+            value = row.get(left_attr)
+            if value is not None:
+                totals[pair] += len(str(value))
+                counts[pair] += 1
+        for row in right_rows:
+            value = row.get(right_attr)
+            if value is not None:
+                totals[pair] += len(str(value))
+                counts[pair] += 1
+    return {
+        pair: (totals[pair] / counts[pair] if counts[pair] else 0.0)
+        for pair in pairs
+    }

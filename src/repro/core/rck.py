@@ -1,0 +1,182 @@
+"""Relative keys and relative candidate keys (RCKs) — Section 2.2.
+
+A *key relative to* comparable lists ``(Y1, Y2)`` is an MD whose RHS is
+fixed to ``(Y1, Y2)``; the paper writes it ``(X1, X2 ‖ C)`` where ``C`` is
+the comparison vector ``[≈1, ..., ≈k]``.  Such a key says: to decide
+whether ``t1[Y1]`` and ``t2[Y2]`` refer to the same entity, it suffices to
+compare the ``X1``/``X2`` attributes pairwise with the operators in ``C``.
+
+A key ψ is a *relative candidate key* (RCK) when no other key ψ′ relative
+to the same ``(Y1, Y2)`` satisfies ψ′ ≼ ψ, i.e. is built from a strict
+sub-list of ψ's ``(attribute, attribute, operator)`` triples.  RCKs
+minimize the number of attributes a matcher must inspect.
+
+This module also implements ``apply(γ, φ)`` (Section 5): the relative key
+obtained by replacing the RHS pairs of an MD φ occurring in γ with the LHS
+tests of φ — the single deduction step ``findRCKs`` iterates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from .md import MatchingDependency, SimilarityAtom
+from .schema import ComparableLists
+from .similarity import EQUALITY, SimilarityOperator, as_operator
+
+
+@dataclass(frozen=True)
+class RelativeKey:
+    """A key ``(X1, X2 ‖ C)`` relative to a target ``(Y1, Y2)``.
+
+    ``atoms`` is the tuple of LHS triples; order carries no meaning (the
+    LHS is a conjunction) but is preserved for display.  Duplicate triples
+    are rejected.
+
+    >>> from repro.core.schema import RelationSchema, SchemaPair, ComparableLists
+    >>> pair = SchemaPair(RelationSchema("credit", ["email", "tel", "FN"]),
+    ...                   RelationSchema("billing", ["email", "phn", "FN"]))
+    >>> target = ComparableLists(pair, ["FN"], ["FN"])
+    >>> key = RelativeKey.from_triples(target,
+    ...     [("email", "email", "="), ("tel", "phn", "=")])
+    >>> key.length
+    2
+    >>> print(key)
+    ([email, tel], [email, phn] || [=, =])
+    """
+
+    target: ComparableLists
+    atoms: Tuple[SimilarityAtom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a relative key must compare at least one pair")
+        self.target.pair.require_comparable(
+            [atom.left for atom in self.atoms],
+            [atom.right for atom in self.atoms],
+        )
+        if len(set(self.atoms)) != len(self.atoms):
+            raise ValueError("duplicate triples in relative key")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_triples(
+        cls, target: ComparableLists, triples: Iterable
+    ) -> "RelativeKey":
+        """Build a key from ``(left, right, operator)`` triples."""
+        atoms = tuple(
+            triple
+            if isinstance(triple, SimilarityAtom)
+            else SimilarityAtom(triple[0], triple[1], as_operator(triple[2]))
+            for triple in triples
+        )
+        return cls(target, atoms)
+
+    @classmethod
+    def identity_key(cls, target: ComparableLists) -> "RelativeKey":
+        """The trivial key ``(Y1, Y2 ‖ [=, ..., =])`` seeding ``findRCKs``."""
+        atoms = tuple(
+            SimilarityAtom(left, right, EQUALITY) for left, right in target
+        )
+        return cls(target, atoms)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """The paper's key length ``k`` — number of compared pairs."""
+        return len(self.atoms)
+
+    @property
+    def comparison_vector(self) -> Tuple[SimilarityOperator, ...]:
+        """The vector ``C`` of operators, in atom order."""
+        return tuple(atom.operator for atom in self.atoms)
+
+    def triple_set(self) -> frozenset:
+        """The atoms as a set — the basis of the ≼ comparison."""
+        return frozenset(self.atoms)
+
+    def attribute_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """The compared ``(left, right)`` attribute pairs, in order."""
+        return tuple(atom.attribute_pair for atom in self.atoms)
+
+    def to_md(self) -> MatchingDependency:
+        """The key as an MD: ``⋀ atoms → (Y1, Y2)``."""
+        return MatchingDependency(
+            self.target.pair, self.atoms, list(self.target)
+        )
+
+    # ------------------------------------------------------------------
+    # The ≼ order and editing operations
+    # ------------------------------------------------------------------
+
+    def covers(self, other: "RelativeKey") -> bool:
+        """``self ≼ other``: every triple of ``self`` occurs in ``other``.
+
+        When the containment is strict this is the paper's ψ′ ≺ ψ (shorter
+        key built from a sub-list of the longer one); equality of the two
+        triple sets also counts as covering, so a set Γ containing ``other``
+        never re-adds an identical key.
+        """
+        return self.triple_set() <= other.triple_set()
+
+    def strictly_smaller_than(self, other: "RelativeKey") -> bool:
+        """The strict order of Section 2.2: shorter and contained."""
+        return self.length < other.length and self.covers(other)
+
+    def without(self, atom: SimilarityAtom) -> "RelativeKey":
+        """The key with one triple removed (used by ``minimize``)."""
+        remaining = tuple(existing for existing in self.atoms if existing != atom)
+        return RelativeKey(self.target, remaining)
+
+    def apply_md(self, dependency: MatchingDependency) -> "RelativeKey":
+        """The paper's ``apply(γ, φ)``.
+
+        Remove from this key every triple whose attribute pair occurs in
+        RHS(φ) (whatever its operator), then add LHS(φ)'s triples
+        (deduplicated).  The result is a relative key deduced by one
+        application of φ; it is *not* minimized here — ``findRCKs`` calls
+        ``minimize`` afterwards.
+        """
+        if dependency.pair != self.target.pair:
+            raise ValueError("MD is defined over a different schema pair")
+        rhs_pairs = set(dependency.rhs_attribute_pairs())
+        kept = [
+            atom for atom in self.atoms if atom.attribute_pair not in rhs_pairs
+        ]
+        present = set(kept)
+        for atom in dependency.lhs:
+            if atom not in present:
+                kept.append(atom)
+                present.add(atom)
+        return RelativeKey(self.target, tuple(kept))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lefts = ", ".join(atom.left for atom in self.atoms)
+        rights = ", ".join(atom.right for atom in self.atoms)
+        ops = ", ".join(str(atom.operator) for atom in self.atoms)
+        return f"([{lefts}], [{rights}] || [{ops}])"
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def is_candidate(
+    key: RelativeKey, others: Sequence[RelativeKey]
+) -> bool:
+    """Whether ``key`` is minimal w.r.t. a collection of known keys.
+
+    ``key`` fails candidacy when some strictly smaller key in ``others``
+    covers it (Section 2.2's condition for *not* being an RCK).
+    """
+    return not any(other.strictly_smaller_than(key) for other in others)

@@ -1,0 +1,83 @@
+"""Symbolic similarity operators for MD reasoning.
+
+The deduction machinery of the paper (Sections 3–5) is *generic*: it never
+evaluates a similarity metric, it only manipulates operator identities under
+the generic axioms of Section 2.1:
+
+* every operator is reflexive and symmetric;
+* every operator subsumes equality (``x = y`` implies ``x ≈ y``);
+* equality is additionally transitive, and for any operator ``≈``,
+  ``x ≈ y ∧ y = z`` implies ``x ≈ z``;
+* no other operator is assumed transitive.
+
+This module defines the *symbolic* operator type used inside MDs and the
+closure algorithms.  The executable counterpart (actual string comparison)
+lives in :mod:`repro.metrics` and is resolved by name at match time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+#: Canonical name of the equality operator.
+EQUALITY_NAME = "="
+
+
+@dataclass(frozen=True, order=True)
+class SimilarityOperator:
+    """A member of the operator set Θ, identified by name.
+
+    Names follow the :mod:`repro.metrics.registry` convention:
+    ``"="`` for equality, ``"metric(theta)"`` for thresholded metrics.
+    Two operators with different thresholds are *different* members of Θ —
+    the closure treats them as unrelated relations.
+
+    >>> EQUALITY.is_equality
+    True
+    >>> SimilarityOperator("dl(0.8)").is_equality
+    False
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+
+    @property
+    def is_equality(self) -> bool:
+        """Whether this operator is the equality relation ``=``."""
+        return self.name == EQUALITY_NAME
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The equality operator, always a member of Θ.
+EQUALITY = SimilarityOperator(EQUALITY_NAME)
+
+
+def as_operator(value) -> SimilarityOperator:
+    """Coerce a string or operator into a :class:`SimilarityOperator`."""
+    if isinstance(value, SimilarityOperator):
+        return value
+    if isinstance(value, str):
+        return SimilarityOperator(value)
+    raise TypeError(
+        f"expected SimilarityOperator or str, got {type(value).__name__}"
+    )
+
+
+def operator_universe(operators: Iterable[SimilarityOperator]) -> FrozenSet[SimilarityOperator]:
+    """The set Θ induced by a collection of operators, always including =.
+
+    The closure array of Section 4 is indexed by this set (its size is the
+    paper's ``p``).
+
+    >>> sorted(op.name for op in operator_universe([SimilarityOperator("dl(0.8)")]))
+    ['=', 'dl(0.8)']
+    """
+    universe = {EQUALITY}
+    universe.update(operators)
+    return frozenset(universe)

@@ -1,0 +1,192 @@
+"""Deterministic corpora for synthetic person / address / purchase data.
+
+The paper populates its schemas with "real-life data scraped from the Web"
+(US addresses, books and DVDs from online stores).  Offline, we substitute
+fixed corpora of comparable variety: common US given names and surnames,
+street names, and cities with their county/state/zip, plus store items.
+The matching experiments only depend on the *distributional* properties —
+enough distinct values that non-matching tuples rarely collide, realistic
+string lengths so typo noise behaves like it does on real data — which
+these corpora provide.  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+    "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony",
+    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly",
+    "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth",
+    "Carol", "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa",
+    "Timothy", "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca",
+    "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
+    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley",
+    "Jonathan", "Anna", "Stephen", "Brenda", "Larry", "Pamela", "Justin",
+    "Emma", "Scott", "Nicole", "Brandon", "Helen", "Benjamin", "Samantha",
+    "Samuel", "Katherine", "Gregory", "Christine", "Alexander", "Debra",
+    "Patrick", "Rachel", "Frank", "Carolyn", "Raymond", "Janet", "Jack",
+    "Maria", "Dennis", "Catherine", "Jerry", "Heather", "Tyler", "Diane",
+    "Aaron", "Olivia", "Jose", "Julie", "Adam", "Joyce", "Nathan",
+    "Victoria", "Henry", "Ruth", "Zachary", "Virginia", "Douglas", "Lauren",
+    "Peter", "Kelly", "Kyle", "Christina", "Noah", "Joan", "Ethan",
+    "Evelyn", "Jeremy", "Judith", "Walter", "Andrea", "Christian", "Hannah",
+    "Keith", "Megan", "Roger", "Cheryl", "Terry", "Jacqueline", "Austin",
+    "Martha", "Sean", "Madison", "Gerald", "Teresa", "Carl", "Gloria",
+    "Harold", "Sara", "Dylan", "Janice", "Arthur", "Ann", "Lawrence",
+    "Kathryn", "Jordan", "Abigail", "Jesse", "Sophia", "Bryan", "Frances",
+    "Billy", "Jean", "Bruce", "Alice", "Gabriel", "Judy", "Joe", "Isabella",
+    "Logan", "Julia", "Alan", "Grace", "Juan", "Amber", "Albert", "Denise",
+    "Willie", "Danielle", "Elijah", "Marilyn", "Wayne", "Beverly", "Randy",
+    "Charlotte", "Vincent", "Natalie", "Mason", "Theresa", "Roy", "Diana",
+    "Ralph", "Brittany", "Bobby", "Doris", "Russell", "Kayla", "Bradley",
+    "Alexis", "Philip", "Lori", "Eugene", "Marie",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+    "Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+    "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+    "Patterson", "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin",
+    "Wallace", "Moreno", "West", "Cole", "Hayes", "Bryant", "Herrera",
+    "Gibson", "Ellis", "Tran", "Medina", "Aguilar", "Stevens", "Murray",
+    "Ford", "Castro", "Marshall", "Owens", "Harrison", "Fernandez",
+    "McDonald", "Woods", "Washington", "Kennedy", "Wells", "Vargas",
+    "Henry", "Chen", "Freeman", "Webb", "Tucker", "Guzman", "Burns",
+    "Crawford", "Olson", "Simpson", "Porter", "Hunter", "Gordon", "Mendez",
+    "Silva", "Shaw", "Snyder", "Mason", "Dixon", "Munoz", "Hunt", "Hicks",
+    "Holmes", "Palmer", "Wagner", "Black", "Robertson", "Boyd", "Rose",
+    "Stone", "Salazar", "Fox", "Warren", "Mills", "Meyer", "Rice",
+    "Schmidt", "Garza", "Daniels", "Ferguson", "Nichols", "Stephens",
+    "Soto", "Weaver", "Ryan", "Gardner", "Payne", "Grant", "Dunn",
+)
+
+STREET_NAMES = (
+    "Oak", "Elm", "Maple", "Cedar", "Pine", "Walnut", "Chestnut", "Spruce",
+    "Willow", "Birch", "Main", "Church", "High", "Park", "Washington",
+    "Lake", "Hill", "Ridge", "River", "Spring", "Meadow", "Forest",
+    "Sunset", "Highland", "Valley", "Franklin", "Jefferson", "Lincoln",
+    "Madison", "Monroe", "Adams", "Jackson", "Dogwood", "Magnolia",
+    "Sycamore", "Poplar", "Hickory", "Laurel", "Juniper", "Aspen",
+    "Cherry", "Locust", "Mulberry", "Hawthorn", "Cottonwood", "Redwood",
+    "Cypress", "Alder", "Beech", "Holly",
+)
+
+STREET_SUFFIXES = ("Street", "Avenue", "Road", "Drive", "Lane", "Court", "Place")
+
+#: (city, county, state, zip prefix).  Zip codes are formed as
+#: ``prefix + 2 random digits`` so each city spans a small zip range.
+CITIES = (
+    ("Murray Hill", "Union", "NJ", "079"),
+    ("Princeton", "Mercer", "NJ", "085"),
+    ("Edison", "Middlesex", "NJ", "088"),
+    ("Hoboken", "Hudson", "NJ", "070"),
+    ("Trenton", "Mercer", "NJ", "086"),
+    ("New York", "New York", "NY", "100"),
+    ("Brooklyn", "Kings", "NY", "112"),
+    ("Albany", "Albany", "NY", "122"),
+    ("Buffalo", "Erie", "NY", "142"),
+    ("Yonkers", "Westchester", "NY", "107"),
+    ("Philadelphia", "Philadelphia", "PA", "191"),
+    ("Pittsburgh", "Allegheny", "PA", "152"),
+    ("Allentown", "Lehigh", "PA", "181"),
+    ("Boston", "Suffolk", "MA", "021"),
+    ("Cambridge", "Middlesex", "MA", "021"),
+    ("Worcester", "Worcester", "MA", "016"),
+    ("Hartford", "Hartford", "CT", "061"),
+    ("Stamford", "Fairfield", "CT", "069"),
+    ("Baltimore", "Baltimore", "MD", "212"),
+    ("Annapolis", "Anne Arundel", "MD", "214"),
+    ("Richmond", "Richmond", "VA", "232"),
+    ("Arlington", "Arlington", "VA", "222"),
+    ("Chicago", "Cook", "IL", "606"),
+    ("Springfield", "Sangamon", "IL", "627"),
+    ("Columbus", "Franklin", "OH", "432"),
+    ("Cleveland", "Cuyahoga", "OH", "441"),
+    ("Detroit", "Wayne", "MI", "482"),
+    ("Atlanta", "Fulton", "GA", "303"),
+    ("Savannah", "Chatham", "GA", "314"),
+    ("Miami", "Miami-Dade", "FL", "331"),
+    ("Orlando", "Orange", "FL", "328"),
+    ("Tampa", "Hillsborough", "FL", "336"),
+    ("Houston", "Harris", "TX", "770"),
+    ("Dallas", "Dallas", "TX", "752"),
+    ("Austin", "Travis", "TX", "787"),
+    ("Denver", "Denver", "CO", "802"),
+    ("Phoenix", "Maricopa", "AZ", "850"),
+    ("Seattle", "King", "WA", "981"),
+    ("Portland", "Multnomah", "OR", "972"),
+    ("San Francisco", "San Francisco", "CA", "941"),
+    ("Los Angeles", "Los Angeles", "CA", "900"),
+    ("San Diego", "San Diego", "CA", "921"),
+    ("Sacramento", "Sacramento", "CA", "958"),
+    ("Las Vegas", "Clark", "NV", "891"),
+    ("Minneapolis", "Hennepin", "MN", "554"),
+    ("St. Louis", "St. Louis", "MO", "631"),
+    ("Nashville", "Davidson", "TN", "372"),
+    ("Charlotte", "Mecklenburg", "NC", "282"),
+    ("Raleigh", "Wake", "NC", "276"),
+    ("New Orleans", "Orleans", "LA", "701"),
+)
+
+EMAIL_DOMAINS = (
+    "gm.com", "hm.com", "ym.com", "aol.com", "inbox.net", "mail.org",
+    "post.net", "webmail.com",
+)
+
+#: (item, category, price) — books, DVDs, electronics, as in the paper's
+#: scraped online-store items.
+ITEMS = (
+    ("iPod", "electronics", 169.99),
+    ("PSP", "electronics", 269.99),
+    ("DVD Player", "electronics", 89.99),
+    ("Headphones", "electronics", 49.99),
+    ("Digital Camera", "electronics", 229.99),
+    ("MP3 Player", "electronics", 79.99),
+    ("USB Drive", "electronics", 19.99),
+    ("Laptop Sleeve", "electronics", 29.99),
+    ("The Great Gatsby", "book", 12.99),
+    ("War and Peace", "book", 24.99),
+    ("Moby Dick", "book", 15.99),
+    ("Pride and Prejudice", "book", 11.99),
+    ("Crime and Punishment", "book", 14.99),
+    ("The Odyssey", "book", 13.99),
+    ("Don Quixote", "book", 18.99),
+    ("Jane Eyre", "book", 10.99),
+    ("Casablanca", "dvd", 14.99),
+    ("The Godfather", "dvd", 19.99),
+    ("Citizen Kane", "dvd", 16.99),
+    ("Vertigo", "dvd", 15.99),
+    ("Singin' in the Rain", "dvd", 13.99),
+    ("Rear Window", "dvd", 14.99),
+    ("Some Like It Hot", "dvd", 12.99),
+    ("North by Northwest", "dvd", 15.99),
+    ("Jazz Classics CD", "cd", 14.99),
+    ("Greatest Hits CD", "cd", 16.99),
+    ("Symphony No. 9 CD", "cd", 18.99),
+    ("Blues Anthology CD", "cd", 17.99),
+)
+
+STORES = (
+    "Main St Books", "Tech Depot", "Music Corner", "The Media Shop",
+    "Corner Electronics", "Downtown DVDs", "Page Turners", "Sound & Vision",
+)
+
+CARD_TYPES = ("visa", "master", "amex", "discover")
+
+PAYMENT_STATUSES = ("paid", "pending", "refunded")

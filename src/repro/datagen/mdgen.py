@@ -1,0 +1,131 @@
+"""Random MD generator for the scalability experiments (Section 6.1).
+
+"The MDs used in these experiments were produced by a generator.  Given
+schemas (R1, R2) and a number l, the generator randomly produces a set Σ of
+l MDs over the schemas."
+
+The generator builds a pair of synthetic schemas with configurable arity
+and draws MDs with:
+
+* LHS of 1–``max_lhs`` atoms over random comparable positions, each with a
+  random operator from a small Θ (equality-biased, as hand-written rules
+  tend to be);
+* RHS of 1–``max_rhs`` identified pairs, biased towards positions inside
+  the target ``(Y1, Y2)`` so that the generated Σ actually yields RCKs
+  relative to the target (a uniform RHS almost never touches Y, making
+  findRCKs trivially terminate — useless as a benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.md import MatchingDependency
+from repro.core.schema import ComparableLists, RelationSchema, SchemaPair
+
+#: Default operator pool: equality plus two thresholded metrics.
+DEFAULT_OPERATORS = ("=", "=", "dl(0.8)", "jw(0.9)")
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """A synthetic reasoning workload: schema pair, target, MD set."""
+
+    pair: SchemaPair
+    target: ComparableLists
+    sigma: Tuple[MatchingDependency, ...]
+
+
+def synthetic_pair(arity: int, name_left: str = "R1", name_right: str = "R2") -> SchemaPair:
+    """A schema pair with ``arity`` positionally comparable attributes each."""
+    if arity < 2:
+        raise ValueError(f"arity must be >= 2, got {arity}")
+    left = RelationSchema(name_left, [f"A{i}" for i in range(arity)])
+    right = RelationSchema(name_right, [f"B{i}" for i in range(arity)])
+    return SchemaPair(left, right)
+
+
+def generate_workload(
+    md_count: int,
+    target_length: int,
+    arity: int = 0,
+    max_lhs: int = 4,
+    max_rhs: int = 2,
+    operators: Sequence[str] = DEFAULT_OPERATORS,
+    seed: int = 0,
+    rhs_target_bias: float = 0.7,
+) -> GeneratedWorkload:
+    """Generate ``md_count`` random MDs and a length-``target_length`` target.
+
+    ``arity`` defaults to ``2 * target_length`` so half the attributes are
+    inside the target and half are auxiliary evidence (emails, phones, ...),
+    mirroring the structure of real rule sets where LHS attributes need not
+    belong to Y (Example 2.1: email is not in Yc/Yb).
+
+    >>> workload = generate_workload(md_count=50, target_length=6, seed=1)
+    >>> len(workload.sigma)
+    50
+    >>> len(workload.target)
+    6
+    """
+    if md_count < 1:
+        raise ValueError(f"md_count must be >= 1, got {md_count}")
+    if target_length < 1:
+        raise ValueError(f"target_length must be >= 1, got {target_length}")
+    if arity == 0:
+        arity = 2 * target_length
+    if arity < target_length:
+        raise ValueError(
+            f"arity ({arity}) must cover the target length ({target_length})"
+        )
+    rng = random.Random(seed)
+    pair = synthetic_pair(arity)
+    target = ComparableLists(
+        pair,
+        [f"A{i}" for i in range(target_length)],
+        [f"B{i}" for i in range(target_length)],
+    )
+
+    target_positions = list(range(target_length))
+    all_positions = list(range(arity))
+    sigma: List[MatchingDependency] = []
+    seen = set()
+    attempts = 0
+    while len(sigma) < md_count and attempts < md_count * 50:
+        attempts += 1
+        lhs_size = rng.randrange(1, max_lhs + 1)
+        lhs_positions = rng.sample(all_positions, min(lhs_size, arity))
+        lhs = [
+            (f"A{position}", f"B{position}", rng.choice(operators))
+            for position in lhs_positions
+        ]
+        rhs_size = rng.randrange(1, max_rhs + 1)
+        # Bias the RHS towards target positions (rhs_target_bias), so
+        # deductions can reach the target and findRCKs has work to do.
+        # Lower bias yields sparser rule interaction — fewer total RCKs.
+        rhs_positions = set()
+        for _ in range(rhs_size):
+            pool = (
+                target_positions
+                if rng.random() < rhs_target_bias
+                else all_positions
+            )
+            rhs_positions.add(rng.choice(pool))
+        rhs_positions -= set(lhs_positions)
+        if not rhs_positions:
+            continue
+        rhs = [(f"A{position}", f"B{position}") for position in sorted(rhs_positions)]
+        dependency = MatchingDependency(pair, lhs, rhs)
+        key = (frozenset(dependency.lhs), frozenset(dependency.rhs))
+        if key in seen:
+            continue
+        seen.add(key)
+        sigma.append(dependency)
+    if len(sigma) < md_count:
+        raise RuntimeError(
+            f"could not generate {md_count} distinct MDs over arity {arity}; "
+            f"got {len(sigma)} — increase arity or max_lhs"
+        )
+    return GeneratedWorkload(pair, target, tuple(sigma))

@@ -1,0 +1,210 @@
+"""The paper's schemas, MDs and targets.
+
+Two schema variants are provided:
+
+* the *example* schemas of Example 1.1 — ``credit`` (9 attributes) and
+  ``billing`` (9 attributes) — with the MDs ϕ1–ϕ3 of Example 2.1 and the
+  target lists ``(Yc, Yb)``; these drive the worked-example tests
+  (Examples 3.5, 4.1, 5.1);
+* the *extended* schemas of Section 6.2 — 13-attribute ``credit`` and
+  21-attribute ``billing`` — with 11-attribute target lists and the 7
+  card-holder matching MDs used in the quality/efficiency experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.md import MatchingDependency
+from repro.core.schema import ComparableLists, RelationSchema, SchemaPair
+
+# ---------------------------------------------------------------------------
+# Example 1.1 schemas
+# ---------------------------------------------------------------------------
+
+#: Attributes of the Example 1.1 credit relation.
+CREDIT_EXAMPLE_ATTRIBUTES = (
+    "c#", "SSN", "FN", "LN", "addr", "tel", "email", "gender", "type",
+)
+
+#: Attributes of the Example 1.1 billing relation.
+BILLING_EXAMPLE_ATTRIBUTES = (
+    "c#", "FN", "LN", "post", "phn", "email", "gender", "item", "price",
+)
+
+
+def credit_billing_pair() -> SchemaPair:
+    """The Example 1.1 schema pair ``(credit, billing)``."""
+    return SchemaPair(
+        RelationSchema("credit", CREDIT_EXAMPLE_ATTRIBUTES),
+        RelationSchema("billing", BILLING_EXAMPLE_ATTRIBUTES),
+    )
+
+
+def paper_target(pair: SchemaPair) -> ComparableLists:
+    """The card-holder lists ``(Yc, Yb)`` of Example 1.1."""
+    return ComparableLists(
+        pair,
+        ["FN", "LN", "addr", "tel", "gender"],
+        ["FN", "LN", "post", "phn", "gender"],
+    )
+
+
+def paper_mds(pair: SchemaPair, dl_operator: str = "dl(0.8)") -> List[MatchingDependency]:
+    """The MDs ϕ1, ϕ2, ϕ3 of Example 2.1.
+
+    ``dl_operator`` is the operator name for the first-name similarity test
+    (the paper's ``≈d``); the default is the DL metric at θ = 0.8 used in
+    Section 6.
+    """
+    phi1 = MatchingDependency(
+        pair,
+        [
+            ("LN", "LN", "="),
+            ("addr", "post", "="),
+            ("FN", "FN", dl_operator),
+        ],
+        [
+            ("FN", "FN"),
+            ("LN", "LN"),
+            ("addr", "post"),
+            ("tel", "phn"),
+            ("gender", "gender"),
+        ],
+    )
+    phi2 = MatchingDependency(
+        pair, [("tel", "phn", "=")], [("addr", "post")]
+    )
+    phi3 = MatchingDependency(
+        pair, [("email", "email", "=")], [("FN", "FN"), ("LN", "LN")]
+    )
+    return [phi1, phi2, phi3]
+
+
+# ---------------------------------------------------------------------------
+# Section 6.2 extended schemas
+# ---------------------------------------------------------------------------
+
+#: 13-attribute extended credit schema (Section 6.2).
+CREDIT_EXTENDED_ATTRIBUTES = (
+    "c#", "SSN", "FN", "MI", "LN", "street", "city", "county", "state",
+    "zip", "tel", "email", "gender",
+)
+
+#: 21-attribute extended billing schema (Section 6.2).
+BILLING_EXTENDED_ATTRIBUTES = (
+    "c#", "FN", "MI", "LN", "street", "city", "county", "state", "zip",
+    "phn", "email", "gender", "item", "category", "price", "quantity",
+    "order_date", "ship_state", "ship_zip", "payment_status", "store",
+)
+
+
+def extended_pair() -> SchemaPair:
+    """The Section 6.2 schema pair: 13-attribute credit, 21-attribute billing."""
+    return SchemaPair(
+        RelationSchema("credit", CREDIT_EXTENDED_ATTRIBUTES),
+        RelationSchema("billing", BILLING_EXTENDED_ATTRIBUTES),
+    )
+
+
+def extended_target(pair: SchemaPair) -> ComparableLists:
+    """The 11-attribute card-holder identification lists of Section 6.2.
+
+    "Each of the lists consists of 11 attributes for name, phone, street,
+    city, county, zip, etc."  The card number is deliberately *not* part
+    of the identity: in the fraud-detection setting two tuples with the
+    same ``c#`` may well describe different people (a family member or a
+    fraudster using the card) — that is exactly what matching must detect.
+    """
+    return ComparableLists(
+        pair,
+        ["FN", "MI", "LN", "street", "city", "county", "state", "zip",
+         "tel", "email", "gender"],
+        ["FN", "MI", "LN", "street", "city", "county", "state", "zip",
+         "phn", "email", "gender"],
+    )
+
+
+def extended_mds(
+    pair: SchemaPair, dl_operator: str = "dl(0.8)"
+) -> List[MatchingDependency]:
+    """The 7 card-holder matching MDs over the extended schemas.
+
+    Reconstructed from the paper's description ("7 simple MDs over credit
+    and billing, which specify matching rules for card holders") following
+    the style of Example 2.1: one full matching key plus identification
+    rules for names, addresses, phones and emails, whose interaction lets
+    ``findRCKs`` deduce several shorter keys.
+    """
+    target = extended_target(pair)
+    identify_all = list(target)
+    return [
+        # ϕ1: same last name + same street/city/zip + similar first name
+        #     identifies the card holder (the hand-written matching key).
+        MatchingDependency(
+            pair,
+            [
+                ("LN", "LN", "="),
+                ("street", "street", "="),
+                ("city", "city", "="),
+                ("zip", "zip", "="),
+                ("FN", "FN", dl_operator),
+            ],
+            identify_all,
+        ),
+        # ϕ2: same phone number → same postal address.
+        MatchingDependency(
+            pair,
+            [("tel", "phn", "=")],
+            [
+                ("street", "street"),
+                ("city", "city"),
+                ("county", "county"),
+                ("state", "state"),
+                ("zip", "zip"),
+            ],
+        ),
+        # ϕ3: same email → same name.
+        MatchingDependency(
+            pair,
+            [("email", "email", "=")],
+            [("FN", "FN"), ("LN", "LN")],
+        ),
+        # ϕ4: same zip code → same city, county and state.
+        MatchingDependency(
+            pair,
+            [("zip", "zip", "=")],
+            [("city", "city"), ("county", "county"), ("state", "state")],
+        ),
+        # ϕ5: same card number + similar name identifies the holder.
+        MatchingDependency(
+            pair,
+            [
+                ("c#", "c#", "="),
+                ("FN", "FN", dl_operator),
+                ("LN", "LN", dl_operator),
+            ],
+            identify_all,
+        ),
+        # ϕ6: same full name at the same street and zip → same phone.
+        MatchingDependency(
+            pair,
+            [
+                ("FN", "FN", "="),
+                ("LN", "LN", "="),
+                ("street", "street", "="),
+                ("zip", "zip", "="),
+            ],
+            [("tel", "phn")],
+        ),
+        # ϕ7: same full name with the same phone → same email.
+        MatchingDependency(
+            pair,
+            [
+                ("FN", "FN", "="),
+                ("LN", "LN", "="),
+                ("tel", "phn", "="),
+            ],
+            [("email", "email")],
+        ),
+    ]

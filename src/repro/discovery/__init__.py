@@ -1,0 +1,19 @@
+"""MD discovery from sample data (the Section 8 extension)."""
+
+from .miner import (
+    DiscoveryConfig,
+    LabelledPair,
+    MinedMD,
+    discover_mds,
+    random_labelled_pairs,
+    sample_labelled_pairs,
+)
+
+__all__ = [
+    "DiscoveryConfig",
+    "LabelledPair",
+    "MinedMD",
+    "discover_mds",
+    "random_labelled_pairs",
+    "sample_labelled_pairs",
+]

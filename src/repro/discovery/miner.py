@@ -1,0 +1,267 @@
+"""MD discovery from sample data (Section 8, future work).
+
+"An important topic is to develop algorithms for discovering MDs from
+sample data, along the same lines as discovery of FDs."  This module
+implements a levelwise miner in the spirit of FD-discovery algorithms:
+
+* the search space is conjunctions of *predicates* — (attribute pair,
+  operator) atoms over the schema pair, operators drawn from a
+  configurable pool (equality plus thresholded metrics);
+* a labelled sample of tuple pairs (matches and non-matches — e.g. from a
+  reviewed batch, or from the generator truth in experiments) provides
+  *support* (how many sampled matches satisfy the LHS) and *confidence*
+  (the fraction of satisfying pairs that are true matches);
+* a candidate LHS is emitted as a key-style MD ``LHS → (Y1, Y2)`` when its
+  confidence and support clear the thresholds; supersets of emitted LHSs
+  are pruned (minimality, as in levelwise FD discovery), as are predicates
+  with no discriminative power.
+
+Mined MDs feed straight into :func:`repro.core.findrcks.find_rcks` — the
+pipeline the paper sketches: "one can first discover a small set of MDs
+via sampling and learning, and then leverage the reasoning techniques to
+deduce RCKs" (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.md import MatchingDependency
+from repro.core.schema import ComparableLists
+from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from repro.relations.relation import Relation
+
+#: A labelled tuple pair: (left tid, right tid, is_match).
+LabelledPair = Tuple[int, int, bool]
+
+#: A predicate: ((left attribute, right attribute), operator name).
+Predicate = Tuple[Tuple[str, str], str]
+
+
+@dataclass(frozen=True)
+class MinedMD:
+    """A discovered MD with its sample statistics."""
+
+    dependency: MatchingDependency
+    support: int
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dependency}  "
+            f"[support={self.support}, confidence={self.confidence:.3f}]"
+        )
+
+
+@dataclass(frozen=True)
+class DiscoveryConfig:
+    """Knobs of the miner.
+
+    ``min_confidence``: minimum fraction of LHS-satisfying sampled pairs
+    that are true matches (rule precision on the sample).
+    ``min_support``: minimum number of true-match pairs satisfying the LHS
+    (rules that fire never are useless).
+    ``max_lhs``: largest LHS size explored (levelwise depth).
+    ``operators``: operator names tried per attribute pair; equality is
+    always sensible, thresholded metrics add fuzz tolerance.
+    """
+
+    min_confidence: float = 0.95
+    min_support: int = 5
+    max_lhs: int = 3
+    operators: Tuple[str, ...] = ("=", "dl(0.8)")
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in (0, 1], got {self.min_confidence}"
+            )
+        if self.min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {self.min_support}")
+        if self.max_lhs < 1:
+            raise ValueError(f"max_lhs must be >= 1, got {self.max_lhs}")
+        if not self.operators:
+            raise ValueError("need at least one operator")
+
+
+def _evaluate_predicates(
+    left: Relation,
+    right: Relation,
+    sample: Sequence[LabelledPair],
+    target: ComparableLists,
+    config: DiscoveryConfig,
+    registry: MetricRegistry,
+) -> Dict[Predicate, List[bool]]:
+    """Truth table: predicate → per-sample-pair satisfaction vector."""
+    attribute_pairs = list(dict.fromkeys(target.attribute_pairs()))
+    table: Dict[Predicate, List[bool]] = {}
+    for attribute_pair in attribute_pairs:
+        left_attr, right_attr = attribute_pair
+        for operator_name in config.operators:
+            predicate_fn = registry.resolve(operator_name)
+            column = [
+                bool(
+                    predicate_fn(
+                        left[l_tid][left_attr], right[r_tid][right_attr]
+                    )
+                )
+                for l_tid, r_tid, _ in sample
+            ]
+            table[(attribute_pair, operator_name)] = column
+    return table
+
+
+def _prune_useless(
+    table: Dict[Predicate, List[bool]],
+    labels: Sequence[bool],
+    min_support: int,
+) -> Dict[Predicate, List[bool]]:
+    """Drop predicates that cannot contribute to any confident rule.
+
+    A predicate that no true match satisfies (support 0) can never reach
+    min_support in any conjunction containing it; a predicate satisfied by
+    *every* sampled pair carries no information but is harmless — we keep
+    it out to shrink the lattice.
+    """
+    kept = {}
+    total = len(labels)
+    for predicate, column in table.items():
+        match_hits = sum(
+            1 for satisfied, is_match in zip(column, labels) if satisfied and is_match
+        )
+        if match_hits < min_support:
+            continue
+        if sum(column) == total:
+            continue  # tautological on this sample
+        kept[predicate] = column
+    return kept
+
+
+def discover_mds(
+    left: Relation,
+    right: Relation,
+    sample: Sequence[LabelledPair],
+    target: ComparableLists,
+    config: DiscoveryConfig = DiscoveryConfig(),
+    registry: MetricRegistry = DEFAULT_REGISTRY,
+) -> List[MinedMD]:
+    """Mine key-style MDs ``LHS → (Y1, Y2)`` from a labelled pair sample.
+
+    Returns minimal (no mined LHS contains another) rules sorted by
+    descending confidence, then support.
+
+    >>> # see tests/discovery for end-to-end usage on generated data
+    """
+    if not sample:
+        raise ValueError("cannot mine from an empty sample")
+    labels = [is_match for _, _, is_match in sample]
+    if not any(labels):
+        raise ValueError("sample contains no positive (match) pairs")
+
+    table = _evaluate_predicates(left, right, sample, target, config, registry)
+    table = _prune_useless(table, labels, config.min_support)
+    predicates = sorted(table)
+
+    total_matches = sum(labels)
+    emitted: List[MinedMD] = []
+    emitted_sets: List[FrozenSet[Predicate]] = []
+
+    def statistics(chosen: Tuple[Predicate, ...]) -> Tuple[int, int]:
+        """(pairs satisfying the conjunction, true matches among them)."""
+        columns = [table[predicate] for predicate in chosen]
+        satisfied = 0
+        match_hits = 0
+        for index, is_match in enumerate(labels):
+            if all(column[index] for column in columns):
+                satisfied += 1
+                if is_match:
+                    match_hits += 1
+        return satisfied, match_hits
+
+    # Levelwise search, smallest LHS first; prune supersets of emitted.
+    for level in range(1, config.max_lhs + 1):
+        for chosen in combinations(predicates, level):
+            attribute_pairs = [predicate[0] for predicate in chosen]
+            if len(set(attribute_pairs)) != level:
+                continue  # one operator per attribute pair in an LHS
+            chosen_set = frozenset(chosen)
+            if any(prior <= chosen_set for prior in emitted_sets):
+                continue  # a subset already makes a confident rule
+            satisfied, match_hits = statistics(chosen)
+            if match_hits < config.min_support or satisfied == 0:
+                continue
+            confidence = match_hits / satisfied
+            if confidence < config.min_confidence:
+                continue
+            lhs = [
+                (pair_[0], pair_[1], operator_name)
+                for (pair_, operator_name) in chosen
+            ]
+            dependency = MatchingDependency(
+                target.pair, lhs, list(target.attribute_pairs())
+            )
+            emitted.append(
+                MinedMD(dependency, support=match_hits, confidence=confidence)
+            )
+            emitted_sets.append(chosen_set)
+
+    emitted.sort(key=lambda mined: (-mined.confidence, -mined.support))
+    # A coverage note for callers: rules covering few of the total matches
+    # are still valid keys; the caller unions several (cf. Section 6.2).
+    del total_matches
+    return emitted
+
+
+def sample_labelled_pairs(
+    candidates: Sequence[Tuple[int, int]],
+    truth: FrozenSet[Tuple[int, int]],
+    limit: int = 10_000,
+    seed: int = 0,
+) -> List[LabelledPair]:
+    """Label candidate pairs against a truth set, subsampling to ``limit``.
+
+    In experiments the generator truth plays the role of the reviewed
+    sample; in production the labels come from clerical review.
+
+    Candidate pairs usually come from blocking/windowing, which *biases*
+    the negatives (they already share the blocking key).  Mix in uniform
+    random pairs via :func:`random_labelled_pairs` so mined rules must
+    discriminate globally, not just within blocks.
+    """
+    import random
+
+    pairs = list(candidates)
+    rng = random.Random(seed)
+    if len(pairs) > limit:
+        pairs = rng.sample(pairs, limit)
+    return [
+        (l_tid, r_tid, (l_tid, r_tid) in truth) for l_tid, r_tid in pairs
+    ]
+
+
+def random_labelled_pairs(
+    left: Relation,
+    right: Relation,
+    truth: FrozenSet[Tuple[int, int]],
+    count: int,
+    seed: int = 0,
+) -> List[LabelledPair]:
+    """Uniformly random tuple pairs, labelled against the truth.
+
+    Overwhelmingly negatives on realistic data — the unbiased background
+    a miner needs to reject rules that only look like keys inside blocks
+    (e.g. "same first name" within a same-surname window).
+    """
+    import random
+
+    rng = random.Random(seed)
+    left_tids = left.tids()
+    right_tids = right.tids()
+    pairs = [
+        (rng.choice(left_tids), rng.choice(right_tids)) for _ in range(count)
+    ]
+    return [
+        (l_tid, r_tid, (l_tid, r_tid) in truth) for l_tid, r_tid in pairs
+    ]

@@ -1,0 +1,138 @@
+"""Experiment 1 — scalability of ``findRCKs``/``MDClosure`` (Fig. 8).
+
+Three series, exactly as in Section 6.1:
+
+* Fig. 8(a): runtime of ``findRCKs`` vs the number of MDs (card(Σ) from
+  200 to 2000, step 200) at m = 20, for |Y1| ∈ {6, 8, 10, 12};
+* Fig. 8(b): runtime vs the number m of requested RCKs (5..50, step 5) at
+  card(Σ) = 2000;
+* Fig. 8(c): the *total* number of RCKs deducible from small Σ
+  (card(Σ) = 10..40, step 10).
+
+MD sets come from the random workload generator
+(:mod:`repro.datagen.mdgen`), as in the paper.  Sizes are parameters so the
+benchmark suite can run scaled-down versions quickly; the defaults match
+the paper's axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.findrcks import find_rcks
+from repro.datagen.mdgen import generate_workload
+
+from .harness import Table, timed
+
+#: The paper's |Y1| series.
+DEFAULT_Y_LENGTHS = (6, 8, 10, 12)
+
+
+def fig8a(
+    card_values: Sequence[int] = tuple(range(200, 2001, 200)),
+    y_lengths: Sequence[int] = DEFAULT_Y_LENGTHS,
+    m: int = 20,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Fig. 8(a): findRCKs runtime vs card(Σ), one record per point."""
+    records: List[Dict[str, object]] = []
+    for y_length in y_lengths:
+        for card in card_values:
+            workload = generate_workload(
+                md_count=card, target_length=y_length, seed=seed
+            )
+            _, seconds = timed(
+                find_rcks, workload.sigma, workload.target, m
+            )
+            records.append(
+                {
+                    "card(Sigma)": card,
+                    "|Y1|": y_length,
+                    "m": m,
+                    "seconds": seconds,
+                }
+            )
+    return records
+
+
+def fig8b(
+    m_values: Sequence[int] = tuple(range(5, 51, 5)),
+    card: int = 2000,
+    y_lengths: Sequence[int] = DEFAULT_Y_LENGTHS,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Fig. 8(b): findRCKs runtime vs m at fixed card(Σ)."""
+    records: List[Dict[str, object]] = []
+    for y_length in y_lengths:
+        workload = generate_workload(
+            md_count=card, target_length=y_length, seed=seed
+        )
+        for m in m_values:
+            _, seconds = timed(
+                find_rcks, workload.sigma, workload.target, m
+            )
+            records.append(
+                {
+                    "m": m,
+                    "|Y1|": y_length,
+                    "card(Sigma)": card,
+                    "seconds": seconds,
+                }
+            )
+    return records
+
+
+def fig8c(
+    card_values: Sequence[int] = (10, 20, 30, 40),
+    y_lengths: Sequence[int] = DEFAULT_Y_LENGTHS,
+    seed: int = 0,
+    limit: int = 500,
+) -> List[Dict[str, object]]:
+    """Fig. 8(c): total number of RCKs deducible from small MD sets.
+
+    The workloads use a *sparser* generator configuration (wide schemas,
+    short LHSs, single-pair RHSs, low target bias) than Figs. 8(a,b): the
+    paper's Fig. 8(c) reports 5–50 total RCKs, which implies loosely
+    interacting rule sets; dense random MDs have combinatorially many
+    minimal keys (the exponential worst case of Section 5).  Counts are
+    capped at ``limit`` — a capped cell reports ``limit``.
+    """
+    records: List[Dict[str, object]] = []
+    for y_length in y_lengths:
+        for card in card_values:
+            workload = generate_workload(
+                md_count=card,
+                target_length=y_length,
+                arity=4 * y_length,
+                max_lhs=2,
+                max_rhs=1,
+                rhs_target_bias=0.2,
+                seed=seed,
+            )
+            keys = find_rcks(workload.sigma, workload.target, m=limit)
+            records.append(
+                {
+                    "card(Sigma)": card,
+                    "|Y1|": y_length,
+                    "total RCKs": len(keys),
+                }
+            )
+    return records
+
+
+def render_fig8(records_a, records_b, records_c) -> str:
+    """Render all three panels as text tables."""
+    tables = []
+    for caption, columns, records in (
+        ("Fig 8(a): findRCKs runtime vs card(Sigma)",
+         ["card(Sigma)", "|Y1|", "m", "seconds"], records_a),
+        ("Fig 8(b): findRCKs runtime vs m",
+         ["m", "|Y1|", "card(Sigma)", "seconds"], records_b),
+        ("Fig 8(c): total number of RCKs",
+         ["card(Sigma)", "|Y1|", "total RCKs"], records_c),
+    ):
+        table = Table(caption, columns)
+        for record in records:
+            table.add(*(record[column] for column in columns))
+        tables.append(table.render())
+    return "\n\n".join(tables)

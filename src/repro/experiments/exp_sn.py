@@ -1,0 +1,79 @@
+"""Experiment 3 — Sorted Neighborhood with and without RCKs (Fig. 10(a–c)).
+
+Protocol (Section 6.2):
+
+* the same datasets and windowing keys as Exp-2;
+* **SN**: the 25 hand-written equational-theory rules (the [20]-style
+  baseline of :func:`repro.matching.rules.default_person_rules`);
+* **SNrck**: rules derived from the union of the top five RCKs;
+* window size 10; report precision, recall and wall-clock time per K.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.datagen.noise import NoiseModel
+from repro.matching.evaluate import evaluate_matches
+from repro.matching.rules import default_person_rules, rules_from_rcks
+from repro.matching.sorted_neighborhood import SortedNeighborhood
+
+from .exp_fs import DEFAULT_SIZES, prepare
+from .harness import Table, timed
+
+
+def run_point(
+    size: int,
+    seed: int = 0,
+    noise: Optional[NoiseModel] = None,
+    window: int = 10,
+) -> Dict[str, object]:
+    """One K: run SN (25 hand rules) and SNrck (top-5 RCK rules)."""
+    dataset, candidates, rcks = prepare(size, seed, noise, window)
+
+    sn_rck = SortedNeighborhood(rules_from_rcks(rcks), window=window)
+    rck_result, rck_seconds = timed(
+        sn_rck.run_on_candidates, dataset.credit, dataset.billing, candidates
+    )
+    rck_quality = evaluate_matches(rck_result.matches, dataset.true_matches)
+
+    sn_base = SortedNeighborhood(default_person_rules(), window=window)
+    base_result, base_seconds = timed(
+        sn_base.run_on_candidates, dataset.credit, dataset.billing, candidates
+    )
+    base_quality = evaluate_matches(base_result.matches, dataset.true_matches)
+
+    return {
+        "K": size,
+        "SNrck precision": rck_quality.precision,
+        "SN precision": base_quality.precision,
+        "SNrck recall": rck_quality.recall,
+        "SN recall": base_quality.recall,
+        "SNrck seconds": rck_seconds,
+        "SN seconds": base_seconds,
+        "candidates": len(candidates),
+    }
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seed: int = 0,
+    noise: Optional[NoiseModel] = None,
+    window: int = 10,
+) -> List[Dict[str, object]]:
+    """Figs. 10(a–c): one record per K."""
+    return [run_point(size, seed, noise, window) for size in sizes]
+
+
+def render(records: Sequence[Dict[str, object]]) -> str:
+    """The Fig. 10(a–c) series as a text table."""
+    columns = [
+        "K", "SNrck precision", "SN precision", "SNrck recall", "SN recall",
+        "SNrck seconds", "SN seconds", "candidates",
+    ]
+    table = Table(
+        "Fig 10(a-c): Sorted Neighborhood with vs without RCKs", columns
+    )
+    for record in records:
+        table.add(*(record[column] for column in columns))
+    return table.render()

@@ -1,0 +1,96 @@
+"""Shared experiment infrastructure: timed runs and table rendering.
+
+Each ``exp_*`` module computes one figure of Section 6 and returns plain
+record lists; this harness renders them as the aligned text tables that
+EXPERIMENTS.md records and the benchmark suite prints.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+
+@dataclass
+class Timer:
+    """Wall-clock stopwatch usable as a context manager."""
+
+    seconds: float = 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.seconds += time.perf_counter() - start
+
+
+def timed(callable_, *args, **kwargs):
+    """Run ``callable_`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = callable_(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class Table:
+    """An aligned text table with a caption (one per paper artefact)."""
+
+    caption: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        cells = [list(self.columns)] + [
+            [_format(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[index]) for row in cells)
+            for index in range(len(self.columns))
+        ]
+        lines = [self.caption]
+        header = "  ".join(
+            name.ljust(width) for name, width in zip(cells[0], widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def records_to_table(
+    caption: str, records: Sequence[Dict[str, object]]
+) -> Table:
+    """Build a table from homogeneous dict records (keys become columns)."""
+    if not records:
+        return Table(caption, [])
+    columns = list(records[0])
+    table = Table(caption, columns)
+    for record in records:
+        table.add(*(record[column] for column in columns))
+    return table

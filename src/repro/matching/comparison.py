@@ -1,0 +1,132 @@
+"""Comparison vectors: from RCKs (or raw attribute pairs) to features.
+
+A *comparison vector* is the per-attribute-pair agreement pattern computed
+for a candidate tuple pair — the input of the Fellegi–Sunter model and the
+unit of work of rule-based matchers.  RCKs are precisely specifications of
+comparison vectors: they say which attribute pairs to compare and with
+which operator (Section 1, "Applications — Matching").
+
+:class:`ComparisonSpec` holds an ordered list of features
+``(left_attr, right_attr, operator_name)``; :meth:`ComparisonSpec.compare`
+evaluates them on a pair of rows.  :func:`union_of_rcks` builds the spec
+the paper uses for FSrck/SNrck: "the union of top five RCKs derived by our
+algorithms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.rck import RelativeKey
+from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from repro.relations.relation import Row
+
+#: One feature: (left attribute, right attribute, operator name).
+Feature = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class ComparisonSpec:
+    """An ordered, executable list of comparison features.
+
+    >>> spec = ComparisonSpec((("FN", "FN", "dl(0.8)"), ("LN", "LN", "=")))
+    >>> len(spec)
+    2
+    """
+
+    features: Tuple[Feature, ...]
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValueError("a comparison spec needs at least one feature")
+        if len(set(self.features)) != len(self.features):
+            raise ValueError("duplicate features in comparison spec")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def compare(
+        self,
+        left_row: Row,
+        right_row: Row,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+    ) -> Tuple[bool, ...]:
+        """The agreement vector of the two rows under this spec."""
+        results: List[bool] = []
+        for left_attr, right_attr, operator_name in self.features:
+            predicate = registry.resolve(operator_name)
+            results.append(
+                bool(predicate(left_row[left_attr], right_row[right_attr]))
+            )
+        return tuple(results)
+
+    def agrees_on_all(
+        self,
+        left_row: Row,
+        right_row: Row,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+    ) -> bool:
+        """True when every feature agrees (short-circuiting).
+
+        This is exactly "the pair matches the LHS of the key".
+        """
+        for left_attr, right_attr, operator_name in self.features:
+            predicate = registry.resolve(operator_name)
+            if not predicate(left_row[left_attr], right_row[right_attr]):
+                return False
+        return True
+
+    def attribute_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """The (left, right) attribute pairs, operators dropped."""
+        return tuple(
+            (left_attr, right_attr) for left_attr, right_attr, _ in self.features
+        )
+
+
+def spec_from_rck(key: RelativeKey) -> ComparisonSpec:
+    """The comparison spec of a single relative key."""
+    return ComparisonSpec(
+        tuple(
+            (atom.left, atom.right, atom.operator.name) for atom in key.atoms
+        )
+    )
+
+
+def union_of_rcks(keys: Sequence[RelativeKey]) -> ComparisonSpec:
+    """The union spec of several RCKs (the paper's "union of top five").
+
+    A comparison vector has one feature per *attribute pair*: when the same
+    pair occurs in several keys with different operators (e.g. ``FN = FN``
+    in one key and ``FN ≈dl FN`` in another), the similarity operator is
+    kept — it is the more error-tolerant test, and the Fellegi–Sunter
+    model's independence assumption forbids near-duplicate features.
+    First-key-first order is preserved.
+    """
+    if not keys:
+        raise ValueError("need at least one RCK")
+    chosen: dict = {}
+    order: List[Tuple[str, str]] = []
+    for key in keys:
+        for atom in key.atoms:
+            pair = (atom.left, atom.right)
+            operator = atom.operator.name
+            if pair not in chosen:
+                chosen[pair] = operator
+                order.append(pair)
+            elif chosen[pair] == "=" and operator != "=":
+                chosen[pair] = operator
+    return ComparisonSpec(
+        tuple((left, right, chosen[(left, right)]) for left, right in order)
+    )
+
+
+def equality_spec(attribute_pairs: Iterable[Tuple[str, str]]) -> ComparisonSpec:
+    """A spec comparing the given pairs with plain equality.
+
+    The naive configuration a matcher uses without RCK guidance — the
+    baseline FS vector in the experiments.
+    """
+    return ComparisonSpec(
+        tuple((left, right, "=") for left, right in attribute_pairs)
+    )

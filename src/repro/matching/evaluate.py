@@ -1,0 +1,123 @@
+"""Match-quality and candidate-space metrics (Section 6.2).
+
+* *precision* — true matches correctly found / all matches returned;
+* *recall* — true matches correctly found / all true matches in the data;
+* *pairs completeness* ``PC = sM / nM`` — the fraction of true matched
+  pairs that survive blocking/windowing (``sM``: matched pairs *with* the
+  reduction technique; ``nM``: matched pairs without it, i.e. the truth);
+* *reduction ratio* ``RR = 1 − (sM + sU)/(nM + nU)`` — the saving in
+  comparison space.
+
+All metrics are computed against the generator-held truth, as the paper
+does ("precision, recall, PC and RR can be accurately computed ... by
+checking the truth held by the generator").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Tuple
+
+#: A candidate or predicted pair: (left tuple id, right tuple id).
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision/recall/F1 of a predicted match set against the truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """True matches found / all matches returned (1.0 when none returned)."""
+        returned = self.true_positives + self.false_positives
+        return self.true_positives / returned if returned else 1.0
+
+    @property
+    def recall(self) -> float:
+        """True matches found / all true matches (1.0 when no true matches)."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f}"
+        )
+
+
+def evaluate_matches(
+    predicted: Iterable[Pair], truth: FrozenSet[Pair]
+) -> MatchQuality:
+    """Score a predicted match set against the ground truth.
+
+    >>> quality = evaluate_matches([(0, 0), (0, 1)], frozenset({(0, 0), (1, 2)}))
+    >>> quality.true_positives, quality.false_positives, quality.false_negatives
+    (1, 1, 1)
+    """
+    predicted_set: Set[Pair] = set(predicted)
+    true_positives = len(predicted_set & truth)
+    return MatchQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted_set) - true_positives,
+        false_negatives=len(truth) - true_positives,
+    )
+
+
+@dataclass(frozen=True)
+class ReductionQuality:
+    """Pairs completeness and reduction ratio of a candidate pair set."""
+
+    pairs_completeness: float
+    reduction_ratio: float
+    candidate_count: int
+    total_pairs: int
+
+    def __str__(self) -> str:
+        return (
+            f"PC={self.pairs_completeness:.3f} RR={self.reduction_ratio:.3f} "
+            f"({self.candidate_count}/{self.total_pairs} pairs)"
+        )
+
+
+def evaluate_reduction(
+    candidates: Iterable[Pair],
+    truth: FrozenSet[Pair],
+    total_pairs: int,
+) -> ReductionQuality:
+    """PC and RR of a blocking/windowing candidate set.
+
+    ``total_pairs`` is the size of the unreduced comparison space
+    (|I1| × |I2|).
+
+    >>> rq = evaluate_reduction([(0, 0), (1, 1)], frozenset({(0, 0)}), 100)
+    >>> rq.pairs_completeness
+    1.0
+    >>> rq.reduction_ratio
+    0.98
+    """
+    candidate_set: Set[Pair] = set(candidates)
+    if total_pairs <= 0:
+        raise ValueError(f"total_pairs must be positive, got {total_pairs}")
+    surviving_matches = len(candidate_set & truth)
+    pairs_completeness = (
+        surviving_matches / len(truth) if truth else 1.0
+    )
+    reduction_ratio = 1.0 - len(candidate_set) / total_pairs
+    return ReductionQuality(
+        pairs_completeness=pairs_completeness,
+        reduction_ratio=reduction_ratio,
+        candidate_count=len(candidate_set),
+        total_pairs=total_pairs,
+    )

@@ -1,0 +1,156 @@
+"""End-to-end MD-based matching pipelines.
+
+The paper positions MDs/RCKs as a compile-time facility that existing
+matchers plug in.  This module packages the full flow for downstream users:
+
+1. deduce RCKs from domain MDs (``findRCKs``);
+2. generate candidate pairs by windowing or blocking on RCK attributes;
+3. decide matches either
+
+   * *directly*: a pair matches when some RCK's comparisons all agree
+     (:class:`RCKMatcher`), or
+   * *by enforcement*: chase the instances with the MDs and read matches
+     off the identified target cells (:class:`EnforcementMatcher`) — the
+     dynamic semantics in action, able to match tuples that no single rule
+     matches directly (the paper's t1/t4 example, where ϕ2 first repairs
+     the address and ϕ1 then fires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.findrcks import find_rcks
+from repro.core.md import MatchingDependency
+from repro.core.rck import RelativeKey
+from repro.core.schema import ComparableLists
+from repro.core.semantics import InstancePair, enforce
+from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from repro.relations.relation import Relation
+
+from .evaluate import Pair
+from .rules import RuleSet, rules_from_rcks
+from .windowing import rck_sort_keys, window_pairs
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Matches plus the candidate set they were drawn from."""
+
+    matches: Tuple[Pair, ...]
+    candidates: Tuple[Pair, ...]
+
+
+class RCKMatcher:
+    """Direct rule matching with deduced RCKs.
+
+    >>> # matcher = RCKMatcher.from_mds(sigma, target, top_k=5)
+    >>> # result = matcher.match(credit, billing)
+    """
+
+    def __init__(
+        self,
+        rcks: Sequence[RelativeKey],
+        window: int = 10,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+    ) -> None:
+        if not rcks:
+            raise ValueError("need at least one RCK")
+        self.rcks = list(rcks)
+        self.rules: RuleSet = rules_from_rcks(self.rcks)
+        self.window = window
+        self.registry = registry
+
+    @classmethod
+    def from_mds(
+        cls,
+        sigma: Sequence[MatchingDependency],
+        target: ComparableLists,
+        top_k: int = 5,
+        window: int = 10,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+    ) -> "RCKMatcher":
+        """Deduce ``top_k`` RCKs from Σ and build the matcher."""
+        rcks = find_rcks(sigma, target, m=top_k)
+        return cls(rcks, window=window, registry=registry)
+
+    def candidate_pairs(
+        self, left: Relation, right: Relation
+    ) -> List[Pair]:
+        """Windowing candidates sorted on RCK attributes."""
+        left_key, right_key = rck_sort_keys(self.rcks)
+        return window_pairs(left, right, left_key, right_key, self.window)
+
+    def match(
+        self,
+        left: Relation,
+        right: Relation,
+        candidates: Optional[Sequence[Pair]] = None,
+    ) -> PipelineResult:
+        """Match: any RCK whose comparisons all agree declares a match."""
+        if candidates is None:
+            candidates = self.candidate_pairs(left, right)
+        matches = [
+            (left_tid, right_tid)
+            for left_tid, right_tid in candidates
+            if self.rules.matches(left[left_tid], right[right_tid], self.registry)
+        ]
+        return PipelineResult(tuple(matches), tuple(candidates))
+
+
+class EnforcementMatcher:
+    """Matching by chasing the instances with the MDs themselves.
+
+    Enforcement can identify pairs that no direct rule matches: updates by
+    one MD enable the LHS of another (dynamic semantics).  More expensive
+    than :class:`RCKMatcher` — candidate generation should narrow the pair
+    space first.
+    """
+
+    def __init__(
+        self,
+        sigma: Sequence[MatchingDependency],
+        target: ComparableLists,
+        window: int = 10,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+    ) -> None:
+        if not sigma:
+            raise ValueError("need at least one MD")
+        self.sigma = list(sigma)
+        self.target = target
+        self.window = window
+        self.registry = registry
+        # RCKs drive candidate generation even for the enforcement matcher.
+        self._rcks = find_rcks(self.sigma, target, m=5)
+
+    def candidate_pairs(
+        self, left: Relation, right: Relation
+    ) -> List[Pair]:
+        """Windowing candidates sorted on deduced-RCK attributes."""
+        left_key, right_key = rck_sort_keys(self._rcks)
+        return window_pairs(left, right, left_key, right_key, self.window)
+
+    def match(
+        self,
+        left: Relation,
+        right: Relation,
+        candidates: Optional[Sequence[Pair]] = None,
+    ) -> PipelineResult:
+        """Chase, then read off pairs whose target attributes identified."""
+        if candidates is None:
+            candidates = self.candidate_pairs(left, right)
+        instance = InstancePair(self.target.pair, left, right)
+        result = enforce(
+            instance,
+            self.sigma,
+            registry=self.registry,
+            candidate_pairs=list(candidates),
+        )
+        target_pairs = self.target.attribute_pairs()
+        matches = [
+            (left_tid, right_tid)
+            for left_tid, right_tid in candidates
+            if result.identified(left_tid, right_tid, target_pairs)
+        ]
+        return PipelineResult(tuple(matches), tuple(candidates))

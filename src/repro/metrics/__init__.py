@@ -1,0 +1,65 @@
+"""String similarity metrics and phonetic encodings.
+
+This subpackage is the similarity substrate of the reproduction: every
+metric named in Section 2.1 of the paper (edit distance, Jaro, q-grams) and
+the Damerau–Levenshtein metric used in Section 6, plus the Soundex encoder
+used for blocking keys.
+
+Typical use::
+
+    from repro.metrics import DamerauLevenshtein, DEFAULT_REGISTRY
+
+    dl08 = DamerauLevenshtein().thresholded(0.8)
+    assert dl08("Mark", "Marx")
+
+    # or by operator name, as stored inside matching dependencies:
+    assert DEFAULT_REGISTRY.resolve("dl(0.8)")("Mark", "Marx")
+"""
+
+from .base import (
+    SimilarityPredicate,
+    StringMetric,
+    ThresholdOperator,
+    exact_equality,
+)
+from .damerau_levenshtein import (
+    PAPER_THETA,
+    DamerauLevenshtein,
+    damerau_levenshtein_distance,
+    paper_dl_operator,
+)
+from .jaccard import Jaccard, jaccard_similarity, tokenize
+from .jaro import Jaro, JaroWinkler, jaro_similarity, jaro_winkler_similarity
+from .levenshtein import Levenshtein, levenshtein_distance
+from .qgrams import QGram, qgram_profile, qgram_similarity
+from .registry import DEFAULT_REGISTRY, EQ, MetricRegistry, default_registry
+from .soundex import SoundexMetric, soundex
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "EQ",
+    "DamerauLevenshtein",
+    "Jaccard",
+    "Jaro",
+    "JaroWinkler",
+    "Levenshtein",
+    "MetricRegistry",
+    "PAPER_THETA",
+    "QGram",
+    "SimilarityPredicate",
+    "SoundexMetric",
+    "StringMetric",
+    "ThresholdOperator",
+    "damerau_levenshtein_distance",
+    "default_registry",
+    "exact_equality",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "paper_dl_operator",
+    "qgram_profile",
+    "qgram_similarity",
+    "soundex",
+    "tokenize",
+]

@@ -1,0 +1,123 @@
+"""Foundations for string similarity metrics.
+
+The paper (Section 2.1) assumes a fixed set Θ of *similarity operators*,
+each of which is a binary relation over a domain satisfying three generic
+axioms:
+
+* reflexivity:      ``x ≈ x``
+* symmetry:         ``x ≈ y  implies  y ≈ x``
+* subsumption of equality: ``x = y  implies  x ≈ y``
+
+and, except for equality itself, *not* assumed transitive.
+
+A :class:`StringMetric` is a numeric scorer (similarity in ``[0, 1]`` where
+``1`` means identical).  A thresholded metric gives a similarity *operator*
+in the sense of the paper: ``x ≈ y  iff  sim(x, y) >= θ``.  Because every
+metric defined here returns ``1.0`` on equal inputs and is symmetric in its
+arguments, thresholded operators automatically satisfy the generic axioms.
+
+The concrete metrics live in sibling modules (:mod:`repro.metrics.levenshtein`,
+:mod:`repro.metrics.jaro`, ...).  They are registered with
+:mod:`repro.metrics.registry` so that similarity *operator names* used inside
+matching dependencies (e.g. ``"dl(0.8)"``) can be resolved to executable
+predicates at match time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+
+class StringMetric(abc.ABC):
+    """A symmetric similarity scorer mapping a pair of strings to [0, 1].
+
+    Subclasses implement :meth:`similarity`.  A score of ``1.0`` means the
+    two values are considered identical by the metric; ``0.0`` means
+    maximally dissimilar.
+    """
+
+    #: Short machine name used in operator identifiers, e.g. ``"lev"``.
+    name: str = "metric"
+
+    @abc.abstractmethod
+    def similarity(self, left: str, right: str) -> float:
+        """Return the normalized similarity of ``left`` and ``right``."""
+
+    def distance(self, left: str, right: str) -> float:
+        """Return ``1 - similarity`` (a normalized dissimilarity)."""
+        return 1.0 - self.similarity(left, right)
+
+    def similar(self, left: str, right: str, theta: float) -> bool:
+        """Decide ``sim(left, right) >= theta``.
+
+        Subclasses may override with a cheaper decision procedure (edit
+        metrics use a banded dynamic program with early abort); the default
+        computes the full similarity.
+        """
+        return self.similarity(left, right) >= theta
+
+    def thresholded(self, theta: float) -> "ThresholdOperator":
+        """Build a similarity *operator* ``x ≈ y iff sim(x,y) >= theta``."""
+        return ThresholdOperator(self, theta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass(frozen=True)
+class ThresholdOperator:
+    """A similarity operator obtained by thresholding a metric.
+
+    This is the executable counterpart of the paper's ``≈`` operators: a
+    reflexive, symmetric relation that subsumes equality (both properties
+    are inherited from the metric being symmetric and returning 1.0 on equal
+    inputs, provided ``theta <= 1``).
+
+    Parameters
+    ----------
+    metric:
+        The underlying scorer.
+    theta:
+        Similarity threshold in ``[0, 1]``.  ``x ≈ y`` iff
+        ``metric.similarity(x, y) >= theta``.
+    """
+
+    metric: StringMetric
+    theta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theta <= 1.0:
+            raise ValueError(f"theta must be in [0, 1], got {self.theta}")
+
+    @property
+    def name(self) -> str:
+        """Canonical operator identifier, e.g. ``"lev(0.8)"``."""
+        return f"{self.metric.name}({self.theta:g})"
+
+    def __call__(self, left: object, right: object) -> bool:
+        if left is None or right is None:
+            # Nulls are similar to nothing, not even themselves: a missing
+            # value carries no evidence of identity.
+            return False
+        left_s, right_s = str(left), str(right)
+        if left_s == right_s:
+            # Subsumption of equality holds regardless of the metric.
+            return True
+        return self.metric.similar(left_s, right_s, self.theta)
+
+
+def exact_equality(left: object, right: object) -> bool:
+    """The equality operator ``=`` of the paper.
+
+    Unlike similarity operators, equality on nulls is still false: two
+    missing values give no evidence that the records match.
+    """
+    if left is None or right is None:
+        return False
+    return left == right
+
+
+#: Type alias for anything usable as an executable similarity predicate.
+SimilarityPredicate = Callable[[object, object], bool]

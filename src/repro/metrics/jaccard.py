@@ -1,0 +1,49 @@
+"""Token-level Jaccard similarity.
+
+Useful for multi-word fields (addresses, item descriptions) where word
+order and small word-level differences matter more than character edits.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .base import StringMetric
+
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+
+
+def tokenize(value: str) -> frozenset:
+    """Split ``value`` into a set of lower-cased alphanumeric tokens.
+
+    >>> sorted(tokenize("10 Oak Street, MH"))
+    ['10', 'mh', 'oak', 'street']
+    """
+    return frozenset(match.group(0).lower() for match in _TOKEN_RE.finditer(value))
+
+
+def jaccard_similarity(left: str, right: str) -> float:
+    """Jaccard coefficient of the token sets, in ``[0, 1]``.
+
+    >>> jaccard_similarity("10 Oak Street", "10 Oak St")
+    0.5
+    """
+    if left == right:
+        return 1.0
+    tokens_left = tokenize(left)
+    tokens_right = tokenize(right)
+    if not tokens_left and not tokens_right:
+        return 1.0
+    union = tokens_left | tokens_right
+    if not union:
+        return 1.0
+    return len(tokens_left & tokens_right) / len(union)
+
+
+class Jaccard(StringMetric):
+    """Token Jaccard similarity as a :class:`StringMetric`."""
+
+    name = "jaccard"
+
+    def similarity(self, left: str, right: str) -> float:
+        return jaccard_similarity(left, right)

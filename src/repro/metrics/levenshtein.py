@@ -1,0 +1,81 @@
+"""Levenshtein (edit) distance and its normalized similarity.
+
+The classic dynamic-programming edit distance: the minimum number of
+single-character insertions, deletions and substitutions needed to turn one
+string into another.  The normalized similarity follows the convention used
+by SimMetrics (the library the paper uses for its DL metric):
+
+    ``sim(v, v') = 1 - dist(v, v') / max(|v|, |v'|)``
+
+so that ``v ≈_θ v'`` iff ``dist(v, v') <= (1 - θ) * max(|v|, |v'|)``,
+exactly the thresholding rule of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from .base import StringMetric
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Return the Levenshtein edit distance between two strings.
+
+    Uses the two-row dynamic program: ``O(|left| * |right|)`` time and
+    ``O(min(|left|, |right|))`` space.
+
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    >>> levenshtein_distance("", "abc")
+    3
+    """
+    if left == right:
+        return 0
+    # Ensure the inner loop runs over the longer string: the row we keep is
+    # proportional to len(right).
+    if len(left) < len(right):
+        left, right = right, left
+    if not right:
+        return len(left)
+
+    previous = list(range(len(right) + 1))
+    for i, ch_left in enumerate(left, start=1):
+        current = [i]
+        for j, ch_right in enumerate(right, start=1):
+            cost = 0 if ch_left == ch_right else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+class Levenshtein(StringMetric):
+    """Normalized Levenshtein similarity in ``[0, 1]``."""
+
+    name = "lev"
+
+    def similarity(self, left: str, right: str) -> float:
+        if left == right:
+            return 1.0
+        longest = max(len(left), len(right))
+        if longest == 0:
+            return 1.0
+        return 1.0 - levenshtein_distance(left, right) / longest
+
+    def similar(self, left: str, right: str, theta: float) -> bool:
+        """Threshold check with a length-difference early exit.
+
+        The length gap is a lower bound on the edit distance, so pairs
+        whose lengths differ by more than the allowed budget are rejected
+        without running the dynamic program.
+        """
+        longest = max(len(left), len(right))
+        if longest == 0:
+            return True
+        budget = (1.0 - theta) * longest
+        if abs(len(left) - len(right)) > budget:
+            return False
+        return levenshtein_distance(left, right) <= budget

@@ -1,0 +1,112 @@
+"""Resolution of similarity-operator *names* to executable predicates.
+
+Matching dependencies refer to similarity operators symbolically — the
+closure algorithms of the paper never evaluate a metric, they only reason
+about operator identity (Section 3.1: the reasoning mechanism is *generic*,
+assuming only the axioms).  At match time, however, the matcher must turn an
+operator name like ``"dl(0.8)"`` into a predicate over attribute values.
+
+This module is the bridge: a registry mapping metric names to
+:class:`~repro.metrics.base.StringMetric` factories, plus a parser for the
+``name(theta)`` operator syntax.  The special name ``"="`` resolves to exact
+equality.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict
+
+from .base import SimilarityPredicate, StringMetric, exact_equality
+from .damerau_levenshtein import DamerauLevenshtein
+from .jaccard import Jaccard
+from .jaro import Jaro, JaroWinkler
+from .levenshtein import Levenshtein
+from .qgrams import QGram
+from .soundex import SoundexMetric
+
+#: Operator name for plain equality, as used in comparison vectors.
+EQ = "="
+
+_OPERATOR_RE = re.compile(r"^([A-Za-z][A-Za-z0-9_]*)\((0(?:\.\d+)?|1(?:\.0+)?)\)$")
+
+
+class MetricRegistry:
+    """A name → metric-factory table with operator-name resolution."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], StringMetric]] = {}
+        self._cache: Dict[str, SimilarityPredicate] = {}
+
+    def register(self, name: str, factory: Callable[[], StringMetric]) -> None:
+        """Register a metric factory under ``name``.
+
+        Re-registering a name replaces the previous factory and invalidates
+        cached predicates built from it.
+        """
+        self._factories[name] = factory
+        stale = [op for op in self._cache if op.split("(")[0] == name]
+        for op in stale:
+            del self._cache[op]
+
+    def metric(self, name: str) -> StringMetric:
+        """Instantiate the metric registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(
+                f"unknown metric {name!r}; registered metrics: {known}"
+            ) from None
+        return factory()
+
+    def known_metrics(self) -> list:
+        """Return the sorted list of registered metric names."""
+        return sorted(self._factories)
+
+    def resolve(self, operator_name: str) -> SimilarityPredicate:
+        """Resolve an operator name to an executable predicate.
+
+        ``"="`` resolves to exact equality; ``"metric(theta)"`` resolves to
+        the thresholded metric.  Results are cached per operator name.
+
+        >>> registry = default_registry()
+        >>> op = registry.resolve("dl(0.8)")
+        >>> op("Mark", "Marx")
+        True
+        >>> registry.resolve("=")("a", "a")
+        True
+        """
+        if operator_name == EQ:
+            return exact_equality
+        cached = self._cache.get(operator_name)
+        if cached is not None:
+            return cached
+        match = _OPERATOR_RE.match(operator_name)
+        if match is None:
+            raise ValueError(
+                f"malformed operator name {operator_name!r}; expected '=' or "
+                "'metric(theta)' with theta in [0, 1]"
+            )
+        metric_name, theta_text = match.groups()
+        predicate = self.metric(metric_name).thresholded(float(theta_text))
+        self._cache[operator_name] = predicate
+        return predicate
+
+
+def default_registry() -> MetricRegistry:
+    """Return a registry pre-populated with every metric in this package."""
+    registry = MetricRegistry()
+    registry.register("lev", Levenshtein)
+    registry.register("dl", DamerauLevenshtein)
+    registry.register("jaro", Jaro)
+    registry.register("jw", JaroWinkler)
+    registry.register("qgram2", lambda: QGram(2))
+    registry.register("qgram3", lambda: QGram(3))
+    registry.register("jaccard", Jaccard)
+    registry.register("soundex", SoundexMetric)
+    return registry
+
+
+#: Module-level registry used by the matching layer unless overridden.
+DEFAULT_REGISTRY = default_registry()

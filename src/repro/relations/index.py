@@ -1,0 +1,72 @@
+"""Secondary indexes over relations.
+
+Blocking needs equality lookups on a derived key (hash index); windowing
+needs a total order on a derived key (sorted index).  Both index *derived*
+keys — a function of the row — because the paper's keys are built from
+(encoded parts of) RCK attributes, e.g. Soundex(name) + zip prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Tuple
+
+from .relation import Relation, Row
+
+#: A function deriving an indexable key from a row.
+KeyFunction = Callable[[Row], Hashable]
+
+
+class HashIndex:
+    """Equality index: derived key → list of tuple ids.
+
+    >>> from repro.core.schema import RelationSchema
+    >>> relation = Relation(RelationSchema("R", ["A"]))
+    >>> _ = relation.insert({"A": "x"}); _ = relation.insert({"A": "x"})
+    >>> index = HashIndex(relation, lambda row: row["A"])
+    >>> sorted(index.lookup("x"))
+    [0, 1]
+    """
+
+    def __init__(self, relation: Relation, key: KeyFunction) -> None:
+        self._buckets: Dict[Hashable, List[int]] = {}
+        for row in relation:
+            self._buckets.setdefault(key(row), []).append(row.tid)
+
+    def lookup(self, key_value: Hashable) -> List[int]:
+        """Tuple ids whose derived key equals ``key_value``."""
+        return list(self._buckets.get(key_value, ()))
+
+    def buckets(self) -> Dict[Hashable, List[int]]:
+        """All buckets: derived key → tuple ids (copies)."""
+        return {key: list(tids) for key, tids in self._buckets.items()}
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Order index: tuple ids sorted by derived key.
+
+    The derived key must be totally ordered (strings/tuples of strings).
+    Ties keep insertion order (Python's sort is stable), which makes
+    windowing runs reproducible.
+    """
+
+    def __init__(self, relation: Relation, key: KeyFunction) -> None:
+        keyed: List[Tuple[Hashable, int]] = [
+            (key(row), row.tid) for row in relation
+        ]
+        keyed.sort(key=lambda pair: pair[0])
+        self._order: List[int] = [tid for _, tid in keyed]
+        self._keys: List[Hashable] = [key_value for key_value, _ in keyed]
+
+    def ordered_tids(self) -> List[int]:
+        """Tuple ids in derived-key order."""
+        return list(self._order)
+
+    def key_at(self, position: int) -> Hashable:
+        """The derived key of the tuple at ``position`` in the order."""
+        return self._keys[position]
+
+    def __len__(self) -> int:
+        return len(self._order)

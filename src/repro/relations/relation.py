@@ -1,0 +1,175 @@
+"""In-memory relation instances with stable tuple identities.
+
+The dynamic semantics of MDs (Section 2.1) tracks tuples *across updates*:
+"to keep track of tuples during a matching process, we assume a temporary
+unique tuple id for each tuple", and an instance ``I'`` extends ``I``
+(``I ⊑ I'``) when every tuple of ``I`` has a same-id counterpart in ``I'``
+(possibly with different attribute values).
+
+:class:`Relation` implements exactly that: a schema-bound multiset of rows,
+each carrying an integer tuple id assigned at insertion and preserved by
+:meth:`copy`.  No third-party dataframe library is used (none is available
+offline); the matching workloads only need iteration, id lookup, and cell
+updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.schema import RelationSchema
+
+
+class Row:
+    """A single tuple: an id plus attribute values.
+
+    Access values with ``row[attr]``; missing attributes raise ``KeyError``
+    at construction, so every row always covers the full schema (``None``
+    stands for null).
+    """
+
+    __slots__ = ("tid", "_values")
+
+    def __init__(self, tid: int, values: Dict[str, object]) -> None:
+        self.tid = tid
+        self._values = values
+
+    def __getitem__(self, attribute: str) -> object:
+        return self._values[attribute]
+
+    def get(self, attribute: str, default: object = None) -> object:
+        """Value of ``attribute`` or ``default`` when absent."""
+        return self._values.get(attribute, default)
+
+    def values(self) -> Dict[str, object]:
+        """A copy of the attribute → value mapping."""
+        return dict(self._values)
+
+    def project(self, attributes: Iterable[str]) -> Tuple[object, ...]:
+        """The tuple of values for the listed attributes, in order."""
+        return tuple(self._values[attr] for attr in attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.tid == other.tid and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self.tid)
+
+    def __repr__(self) -> str:
+        return f"Row(tid={self.tid}, {self._values!r})"
+
+
+class Relation:
+    """A schema-bound instance: rows with stable tuple ids.
+
+    >>> from repro.core.schema import RelationSchema
+    >>> schema = RelationSchema("R", ["A", "B"])
+    >>> instance = Relation(schema)
+    >>> tid = instance.insert({"A": 1, "B": "x"})
+    >>> instance[tid]["A"]
+    1
+    >>> len(instance)
+    1
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Optional[Iterable[Dict[str, object]]] = None,
+    ) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_tid = 0
+        if rows is not None:
+            for values in rows:
+                self.insert(values)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, values: Dict[str, object], tid: Optional[int] = None
+    ) -> int:
+        """Insert a row; missing schema attributes are filled with ``None``.
+
+        Unknown attribute names are rejected.  An explicit ``tid`` may be
+        supplied (used by :meth:`copy`); it must be fresh.
+        """
+        unknown = set(values) - set(self.schema.attribute_names)
+        if unknown:
+            raise KeyError(
+                f"attributes {sorted(unknown)} not in schema {self.schema.name!r}"
+            )
+        if tid is None:
+            tid = self._next_tid
+        if tid in self._rows:
+            raise ValueError(f"tuple id {tid} already present")
+        complete = {
+            name: values.get(name) for name in self.schema.attribute_names
+        }
+        self._rows[tid] = Row(tid, complete)
+        self._next_tid = max(self._next_tid, tid + 1)
+        return tid
+
+    def set_value(self, tid: int, attribute: str, value: object) -> None:
+        """Update one cell of the row with id ``tid``."""
+        if attribute not in self.schema:
+            raise KeyError(
+                f"{attribute!r} is not an attribute of {self.schema.name!r}"
+            )
+        self._rows[tid]._values[attribute] = value
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, tid: int) -> Row:
+        try:
+            return self._rows[tid]
+        except KeyError:
+            raise KeyError(
+                f"no tuple with id {tid} in {self.schema.name!r}"
+            ) from None
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def tids(self) -> List[int]:
+        """All tuple ids, in insertion order."""
+        return list(self._rows)
+
+    def rows(self) -> List[Row]:
+        """All rows, in insertion order."""
+        return list(self._rows.values())
+
+    # ------------------------------------------------------------------
+    # Extension semantics
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Relation":
+        """A deep-enough copy preserving tuple ids (an extension of self)."""
+        duplicate = Relation(self.schema)
+        for tid, row in self._rows.items():
+            duplicate.insert(row.values(), tid=tid)
+        return duplicate
+
+    def extends(self, original: "Relation") -> bool:
+        """``original ⊑ self``: every original tuple id is present here.
+
+        Values may differ — that is the point of the dynamic semantics.
+        """
+        if self.schema != original.schema:
+            return False
+        return all(tid in self._rows for tid in original._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name!r}, {len(self)} rows)"

@@ -1,0 +1,162 @@
+"""Unit tests for matching dependencies (syntax layer)."""
+
+import pytest
+
+from repro.core.md import (
+    MatchingDependency,
+    SimilarityAtom,
+    equality_md,
+    md,
+    total_size,
+)
+from repro.core.similarity import EQUALITY, SimilarityOperator
+
+
+class TestConstruction:
+    def test_triple_coercion(self, pair):
+        dependency = MatchingDependency(
+            pair, [("tel", "phn", "=")], [("addr", "post")]
+        )
+        assert dependency.lhs[0].operator == EQUALITY
+        assert dependency.rhs[0].attribute_pair == ("addr", "post")
+
+    def test_operator_objects_accepted(self, pair):
+        dependency = MatchingDependency(
+            pair,
+            [SimilarityAtom("FN", "FN", SimilarityOperator("dl(0.8)"))],
+            [("FN", "FN")],
+        )
+        assert dependency.lhs[0].operator.name == "dl(0.8)"
+
+    def test_empty_lhs_rejected(self, pair):
+        with pytest.raises(ValueError, match="non-empty LHS"):
+            MatchingDependency(pair, [], [("addr", "post")])
+
+    def test_empty_rhs_rejected(self, pair):
+        with pytest.raises(ValueError, match="non-empty RHS"):
+            MatchingDependency(pair, [("tel", "phn", "=")], [])
+
+    def test_unknown_attribute_rejected(self, pair):
+        with pytest.raises(ValueError):
+            MatchingDependency(pair, [("nope", "phn", "=")], [("addr", "post")])
+
+    def test_duplicate_lhs_rejected(self, pair):
+        with pytest.raises(ValueError, match="duplicate LHS"):
+            MatchingDependency(
+                pair,
+                [("tel", "phn", "="), ("tel", "phn", "=")],
+                [("addr", "post")],
+            )
+
+    def test_same_pair_different_operators_allowed(self, pair):
+        dependency = MatchingDependency(
+            pair,
+            [("FN", "FN", "="), ("FN", "FN", "dl(0.8)")],
+            [("LN", "LN")],
+        )
+        assert len(dependency.lhs) == 2
+
+    def test_duplicate_rhs_rejected(self, pair):
+        with pytest.raises(ValueError, match="duplicate RHS"):
+            MatchingDependency(
+                pair,
+                [("tel", "phn", "=")],
+                [("addr", "post"), ("addr", "post")],
+            )
+
+    def test_lhs_not_contained_in_rhs_constraint_absent(self, pair):
+        # Example 2.1: "the LHS of an MD is neither necessarily contained
+        # in nor disjoint from its RHS" — both shapes must be accepted.
+        overlapping = MatchingDependency(
+            pair, [("FN", "FN", "=")], [("FN", "FN"), ("LN", "LN")]
+        )
+        disjoint = MatchingDependency(
+            pair, [("email", "email", "=")], [("FN", "FN")]
+        )
+        assert overlapping.size == 3
+        assert disjoint.size == 2
+
+
+class TestNormalization:
+    def test_normal_form_detection(self, pair):
+        single = MatchingDependency(pair, [("tel", "phn", "=")], [("addr", "post")])
+        assert single.is_normal_form
+        double = MatchingDependency(
+            pair, [("email", "email", "=")], [("FN", "FN"), ("LN", "LN")]
+        )
+        assert not double.is_normal_form
+
+    def test_normalize_splits_rhs(self, pair):
+        dependency = MatchingDependency(
+            pair, [("email", "email", "=")], [("FN", "FN"), ("LN", "LN")]
+        )
+        parts = dependency.normalize()
+        assert len(parts) == 2
+        assert all(part.is_normal_form for part in parts)
+        assert {part.rhs[0].attribute_pair for part in parts} == {
+            ("FN", "FN"),
+            ("LN", "LN"),
+        }
+        assert all(part.lhs == dependency.lhs for part in parts)
+
+    def test_normalize_identity_on_normal_form(self, pair):
+        dependency = MatchingDependency(pair, [("tel", "phn", "=")], [("addr", "post")])
+        assert dependency.normalize() == [dependency]
+
+
+class TestViewsAndEquality:
+    def test_size_counts_atoms(self, sigma):
+        phi1, phi2, phi3 = sigma
+        assert phi1.size == 3 + 5
+        assert phi2.size == 2
+        assert phi3.size == 3
+
+    def test_total_size(self, sigma):
+        assert total_size(sigma) == sum(dependency.size for dependency in sigma)
+
+    def test_equality_ignores_atom_order(self, pair):
+        first = MatchingDependency(
+            pair, [("tel", "phn", "="), ("email", "email", "=")], [("addr", "post")]
+        )
+        second = MatchingDependency(
+            pair, [("email", "email", "="), ("tel", "phn", "=")], [("addr", "post")]
+        )
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_with_extra_lhs(self, pair):
+        dependency = MatchingDependency(pair, [("tel", "phn", "=")], [("addr", "post")])
+        augmented = dependency.with_extra_lhs("email", "email", "=")
+        assert len(augmented.lhs) == 2
+        # idempotent on duplicates
+        assert augmented.with_extra_lhs("email", "email", "=") is augmented
+
+    def test_str_rendering(self, pair):
+        dependency = MatchingDependency(pair, [("tel", "phn", "=")], [("addr", "post")])
+        assert (
+            str(dependency)
+            == "credit[tel] = billing[phn] -> credit[addr] <=> billing[post]"
+        )
+
+    def test_md_shorthand(self, pair):
+        assert md(pair, [("tel", "phn", "=")], [("addr", "post")]).size == 2
+
+    def test_equality_md_builder(self, pair):
+        dependency = equality_md(
+            pair, [("FN", "FN"), ("LN", "LN")], [("addr", "post")]
+        )
+        assert all(atom.operator.is_equality for atom in dependency.lhs)
+
+
+class TestPaperExamples:
+    def test_phi1_shape(self, sigma):
+        phi1 = sigma[0]
+        operators = [atom.operator.name for atom in phi1.lhs]
+        assert operators == ["=", "=", "dl(0.8)"]
+        assert ("tel", "phn") in phi1.rhs_attribute_pairs()
+
+    def test_phi3_identifies_names(self, sigma):
+        phi3 = sigma[2]
+        assert set(phi3.rhs_attribute_pairs()) == {("FN", "FN"), ("LN", "LN")}
+        # email is not in (Yc, Yb): LHS attributes need not come from Y.
+        assert phi3.lhs[0].attribute_pair == ("email", "email")

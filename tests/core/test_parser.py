@@ -1,0 +1,120 @@
+"""Unit tests for the MD text syntax."""
+
+import pytest
+
+from repro.core.md import MatchingDependency
+from repro.core.parser import MDSyntaxError, format_md, parse_md, parse_mds
+
+
+class TestParse:
+    def test_equality_md(self, pair):
+        dependency = parse_md(
+            "credit[tel] = billing[phn] -> credit[addr] <=> billing[post]",
+            pair,
+        )
+        assert dependency.lhs[0].operator.is_equality
+        assert dependency.rhs[0].attribute_pair == ("addr", "post")
+
+    def test_similarity_operator(self, pair):
+        dependency = parse_md(
+            "credit[FN] ~dl(0.8) billing[FN] -> credit[LN] <=> billing[LN]",
+            pair,
+        )
+        assert dependency.lhs[0].operator.name == "dl(0.8)"
+
+    def test_conjunction_both_sides(self, pair):
+        dependency = parse_md(
+            "credit[LN] = billing[LN] & credit[addr] = billing[post] & "
+            "credit[FN] ~dl(0.8) billing[FN] -> "
+            "credit[FN] <=> billing[FN] & credit[LN] <=> billing[LN]",
+            pair,
+        )
+        assert len(dependency.lhs) == 3
+        assert len(dependency.rhs) == 2
+
+    def test_attribute_with_hash_character(self, pair):
+        dependency = parse_md(
+            "credit[c#] = billing[c#] -> credit[FN] <=> billing[FN]", pair
+        )
+        assert dependency.lhs[0].attribute_pair == ("c#", "c#")
+
+    def test_whitespace_tolerant(self, pair):
+        dependency = parse_md(
+            "  credit[ tel ]   =  billing[ phn ]  ->  credit[addr] <=> billing[post] ",
+            pair,
+        )
+        assert dependency.lhs[0].attribute_pair == ("tel", "phn")
+
+
+class TestErrors:
+    def test_missing_arrow(self, pair):
+        with pytest.raises(MDSyntaxError, match="exactly one '->'"):
+            parse_md("credit[tel] = billing[phn]", pair)
+
+    def test_two_arrows(self, pair):
+        with pytest.raises(MDSyntaxError, match="exactly one '->'"):
+            parse_md("a -> b -> c", pair)
+
+    def test_wrong_left_relation(self, pair):
+        with pytest.raises(MDSyntaxError, match="left relation"):
+            parse_md(
+                "billing[phn] = billing[phn] -> credit[addr] <=> billing[post]",
+                pair,
+            )
+
+    def test_wrong_right_relation(self, pair):
+        with pytest.raises(MDSyntaxError, match="right relation"):
+            parse_md(
+                "credit[tel] = credit[tel] -> credit[addr] <=> billing[post]",
+                pair,
+            )
+
+    def test_unknown_attribute(self, pair):
+        with pytest.raises(MDSyntaxError, match="not an attribute"):
+            parse_md(
+                "credit[nope] = billing[phn] -> credit[addr] <=> billing[post]",
+                pair,
+            )
+
+    def test_matching_operator_on_lhs(self, pair):
+        with pytest.raises(MDSyntaxError, match="cannot use the matching"):
+            parse_md(
+                "credit[tel] <=> billing[phn] -> credit[addr] <=> billing[post]",
+                pair,
+            )
+
+    def test_similarity_on_rhs(self, pair):
+        with pytest.raises(MDSyntaxError, match="matching operator"):
+            parse_md(
+                "credit[tel] = billing[phn] -> credit[addr] = billing[post]",
+                pair,
+            )
+
+    def test_garbage_atom(self, pair):
+        with pytest.raises(MDSyntaxError, match="cannot parse atom"):
+            parse_md("hello -> world", pair)
+
+    def test_multi_line_error_reports_line(self, pair):
+        text = (
+            "credit[tel] = billing[phn] -> credit[addr] <=> billing[post]\n"
+            "garbage here\n"
+        )
+        with pytest.raises(MDSyntaxError, match="line 2"):
+            parse_mds(text, pair)
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self, sigma, pair):
+        for dependency in sigma:
+            text = format_md(dependency)
+            assert parse_md(text, pair) == dependency
+
+    def test_parse_mds_skips_comments_and_blanks(self, pair):
+        text = (
+            "# the phone rule\n"
+            "\n"
+            "credit[tel] = billing[phn] -> credit[addr] <=> billing[post]\n"
+        )
+        dependencies = parse_mds(text, pair)
+        assert len(dependencies) == 1
+        assert isinstance(dependencies[0], MatchingDependency)

@@ -1,0 +1,97 @@
+"""Cross-cutting property tests on random MD workloads.
+
+Invariants the formalism guarantees, checked with hypothesis:
+
+* parser round trip: ``parse(format(md)) == md``;
+* deduction is *closed*: adding a deduced MD to Σ changes no verdict;
+* deduction is *monotone*: growing Σ never invalidates a deduction;
+* augmentation (Lemma 3.1) holds on random MDs;
+* ``apply(γ, φ)`` preserves deducibility (the invariant findRCKs rests
+  on): if ``Σ ⊨m γ`` and φ ∈ Σ then ``Σ ⊨m apply(γ, φ)``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import ClosureEngine
+from repro.core.findrcks import find_rcks
+from repro.core.md import MatchingDependency
+from repro.core.parser import format_md, parse_md
+from repro.core.rck import RelativeKey
+from repro.datagen.mdgen import generate_workload
+
+_seeds = st.integers(min_value=0, max_value=2000)
+
+
+@given(seed=_seeds, md_count=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_parser_round_trip_on_random_mds(seed, md_count):
+    workload = generate_workload(md_count=md_count, target_length=4, seed=seed)
+    for dependency in workload.sigma:
+        assert parse_md(format_md(dependency), workload.pair) == dependency
+
+
+@given(seed=_seeds)
+@settings(max_examples=20, deadline=None)
+def test_deduction_closed_under_adding_deduced_mds(seed):
+    workload = generate_workload(md_count=10, target_length=4, seed=seed)
+    pair, sigma = workload.pair, list(workload.sigma)
+    engine = ClosureEngine(pair, sigma)
+
+    # Deduce a key and add it to Σ: every verdict must stay the same.
+    keys = find_rcks(sigma, workload.target, m=3)
+    extended = sigma + [key.to_md() for key in keys]
+    extended_engine = ClosureEngine(pair, extended)
+
+    probes = [key.to_md() for key in keys] + sigma[:5]
+    for left, right in workload.target:
+        probes.append(
+            MatchingDependency(
+                pair, sigma[seed % len(sigma)].lhs, [(left, right)]
+            )
+        )
+    for phi in probes:
+        # Deduced MDs are logical consequences: adding them neither adds
+        # nor removes any verdict.
+        assert engine.deduces(phi) == extended_engine.deduces(phi)
+
+
+@given(seed=_seeds)
+@settings(max_examples=20, deadline=None)
+def test_deduction_monotone_in_sigma(seed):
+    workload = generate_workload(md_count=12, target_length=4, seed=seed)
+    pair, sigma = workload.pair, list(workload.sigma)
+    half = sigma[: len(sigma) // 2] or sigma[:1]
+    small_engine = ClosureEngine(pair, half)
+    big_engine = ClosureEngine(pair, sigma)
+    for phi in half + sigma[:3]:
+        if small_engine.deduces(phi):
+            assert big_engine.deduces(phi)
+
+
+@given(seed=_seeds)
+@settings(max_examples=20, deadline=None)
+def test_augmentation_on_random_mds(seed):
+    workload = generate_workload(md_count=8, target_length=4, seed=seed)
+    pair, sigma = workload.pair, list(workload.sigma)
+    engine = ClosureEngine(pair, sigma)
+    for dependency in sigma[:4]:
+        augmented = dependency.with_extra_lhs("A0", "B0", "dl(0.8)")
+        assert engine.deduces(augmented)
+
+
+@given(seed=_seeds)
+@settings(max_examples=15, deadline=None)
+def test_apply_preserves_deducibility(seed):
+    workload = generate_workload(md_count=10, target_length=4, seed=seed)
+    pair, sigma = workload.pair, list(workload.sigma)
+    engine = ClosureEngine(pair, sigma)
+    keys = find_rcks(sigma, workload.target, m=4)
+    for key in keys:
+        for dependency in sigma[:6]:
+            applied = key.apply_md(dependency)
+            assert engine.deduces(applied.to_md()), (
+                f"apply broke deducibility: key={key}, md={dependency}"
+            )

@@ -1,0 +1,87 @@
+"""Unit tests for the RCK quality/cost model (Section 5)."""
+
+import pytest
+
+from repro.core.quality import CostModel, length_statistics_from_rows
+
+
+class TestCostModel:
+    def test_default_cost_is_one(self):
+        # ct = 0, lt = 0, ac = 1 → cost = w3/1 = 1.
+        assert CostModel().cost(("FN", "FN")) == 1.0
+
+    def test_counter_term(self):
+        model = CostModel()
+        model.increment([("FN", "FN")])
+        model.increment([("FN", "FN")])
+        assert model.cost(("FN", "FN")) == 3.0
+
+    def test_length_term(self):
+        model = CostModel(lengths={("addr", "post"): 25.0})
+        assert model.cost(("addr", "post")) == 26.0
+
+    def test_accuracy_term(self):
+        model = CostModel(accuracies={("FN", "FN"): 0.5})
+        assert model.cost(("FN", "FN")) == 2.0
+
+    def test_weights(self):
+        model = CostModel(
+            w1=2.0, w2=3.0, w3=5.0, lengths={("a", "b"): 4.0},
+            accuracies={("a", "b"): 0.5},
+        )
+        model.increment([("a", "b")])
+        assert model.cost(("a", "b")) == 2 * 1 + 3 * 4 + 5 / 0.5
+
+    def test_paper_weights_zero_length_accuracy(self):
+        # Example 5.1 uses w1 = 1, w2 = w3 = 0: cost is the counter alone.
+        model = CostModel(w2=0.0, w3=0.0)
+        assert model.cost(("FN", "FN")) == 0.0
+        model.increment([("FN", "FN")])
+        assert model.cost(("FN", "FN")) == 1.0
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(accuracies={("a", "b"): 0.0})
+        with pytest.raises(ValueError):
+            CostModel(accuracies={("a", "b"): 1.5})
+
+    def test_reset_counters(self):
+        model = CostModel()
+        model.increment([("a", "b")])
+        model.reset_counters([("a", "b")])
+        assert model.counter(("a", "b")) == 0
+
+    def test_lhs_cost_sums(self):
+        model = CostModel()
+        model.increment([("a", "b")])
+        assert model.lhs_cost([("a", "b"), ("c", "d")]) == 3.0
+
+
+class TestLengthStatistics:
+    def test_mean_over_both_sides(self):
+        stats = length_statistics_from_rows(
+            [("FN", "FN")],
+            [{"FN": "Mark"}, {"FN": "Jo"}],
+            [{"FN": "Marcus"}],
+        )
+        assert stats[("FN", "FN")] == pytest.approx((4 + 2 + 6) / 3)
+
+    def test_nulls_skipped(self):
+        stats = length_statistics_from_rows(
+            [("FN", "FN")],
+            [{"FN": None}, {"FN": "abcd"}],
+            [],
+        )
+        assert stats[("FN", "FN")] == pytest.approx(4.0)
+
+    def test_no_values_gives_zero(self):
+        stats = length_statistics_from_rows([("FN", "FN")], [], [])
+        assert stats[("FN", "FN")] == 0.0
+
+    def test_distinct_attribute_names_per_side(self):
+        stats = length_statistics_from_rows(
+            [("addr", "post")],
+            [{"addr": "aaaa"}],
+            [{"post": "bb"}],
+        )
+        assert stats[("addr", "post")] == pytest.approx(3.0)

@@ -1,0 +1,157 @@
+"""Unit tests for relative keys, the ≼ order, and apply(γ, φ)."""
+
+import pytest
+
+from repro.core.md import MatchingDependency
+from repro.core.rck import RelativeKey, is_candidate
+from repro.core.schema import ComparableLists
+
+
+@pytest.fixture
+def rck1(target):
+    return RelativeKey.from_triples(
+        target,
+        [("LN", "LN", "="), ("addr", "post", "="), ("FN", "FN", "dl(0.8)")],
+    )
+
+
+@pytest.fixture
+def rck4(target):
+    return RelativeKey.from_triples(
+        target, [("email", "email", "="), ("tel", "phn", "=")]
+    )
+
+
+class TestConstruction:
+    def test_length_and_vector(self, rck1):
+        assert rck1.length == 3
+        assert [op.name for op in rck1.comparison_vector] == ["=", "=", "dl(0.8)"]
+
+    def test_empty_rejected(self, target):
+        with pytest.raises(ValueError):
+            RelativeKey.from_triples(target, [])
+
+    def test_duplicate_triples_rejected(self, target):
+        with pytest.raises(ValueError, match="duplicate"):
+            RelativeKey.from_triples(
+                target, [("tel", "phn", "="), ("tel", "phn", "=")]
+            )
+
+    def test_identity_key_matches_target(self, target):
+        key = RelativeKey.identity_key(target)
+        assert key.length == len(target)
+        assert all(op.is_equality for op in key.comparison_vector)
+
+    def test_str_matches_paper_notation(self, rck4):
+        assert str(rck4) == "([email, tel], [email, phn] || [=, =])"
+
+    def test_lhs_attributes_outside_target_allowed(self, rck4):
+        # email is not in (Yc, Yb) — Example 2.4 remarks on exactly this.
+        assert ("email", "email") in rck4.attribute_pairs()
+
+
+class TestToMd:
+    def test_rhs_is_target(self, rck4, target):
+        dependency = rck4.to_md()
+        assert dependency.rhs_attribute_pairs() == target.attribute_pairs()
+
+    def test_lhs_preserved(self, rck1):
+        dependency = rck1.to_md()
+        assert dependency.lhs == rck1.atoms
+
+
+class TestCoverOrder:
+    def test_subset_covers(self, target, rck1):
+        shorter = RelativeKey.from_triples(
+            target, [("LN", "LN", "="), ("addr", "post", "=")]
+        )
+        assert shorter.covers(rck1)
+        assert shorter.strictly_smaller_than(rck1)
+        assert not rck1.covers(shorter)
+
+    def test_equal_keys_cover_but_not_strictly(self, rck4, target):
+        duplicate = RelativeKey.from_triples(
+            target, [("tel", "phn", "="), ("email", "email", "=")]
+        )
+        assert duplicate.covers(rck4)
+        assert rck4.covers(duplicate)
+        assert not duplicate.strictly_smaller_than(rck4)
+
+    def test_operator_mismatch_breaks_cover(self, target):
+        with_eq = RelativeKey.from_triples(target, [("FN", "FN", "=")])
+        with_dl = RelativeKey.from_triples(target, [("FN", "FN", "dl(0.8)")])
+        assert not with_eq.covers(with_dl)
+        assert not with_dl.covers(with_eq)
+
+    def test_is_candidate(self, target, rck1):
+        shorter = RelativeKey.from_triples(
+            target, [("LN", "LN", "="), ("addr", "post", "=")]
+        )
+        assert not is_candidate(rck1, [shorter])
+        assert is_candidate(rck1, [rck1])  # itself is not *strictly* smaller
+        assert is_candidate(shorter, [rck1])
+
+
+class TestWithout:
+    def test_removal(self, rck1):
+        smaller = rck1.without(rck1.atoms[0])
+        assert smaller.length == 2
+        assert rck1.atoms[0] not in smaller.atoms
+
+    def test_removing_last_triple_rejected(self, target):
+        key = RelativeKey.from_triples(target, [("tel", "phn", "=")])
+        with pytest.raises(ValueError):
+            key.without(key.atoms[0])
+
+
+class TestApplyMd:
+    def test_paper_step_rck1_phi2_gives_rck2(self, rck1, pair, target):
+        # Example 5.1(b): applying ϕ2 (tel=phn → addr⇌post) to rck1
+        # replaces the address comparison with the phone comparison.
+        phi2 = MatchingDependency(pair, [("tel", "phn", "=")], [("addr", "post")])
+        rck2 = rck1.apply_md(phi2)
+        assert set(rck2.attribute_pairs()) == {
+            ("LN", "LN"),
+            ("tel", "phn"),
+            ("FN", "FN"),
+        }
+
+    def test_apply_removes_all_rhs_pairs(self, target, pair):
+        key = RelativeKey.from_triples(
+            target, [("FN", "FN", "="), ("LN", "LN", "="), ("tel", "phn", "=")]
+        )
+        phi3 = MatchingDependency(
+            pair, [("email", "email", "=")], [("FN", "FN"), ("LN", "LN")]
+        )
+        applied = key.apply_md(phi3)
+        assert set(applied.attribute_pairs()) == {
+            ("tel", "phn"),
+            ("email", "email"),
+        }
+
+    def test_apply_with_disjoint_rhs_augments(self, rck4, pair):
+        # RHS pairs absent from the key: apply only adds the LHS tests,
+        # producing a key covered by the original (findRCKs skips it).
+        phi = MatchingDependency(pair, [("gender", "gender", "=")], [("type", "item")])
+        applied = rck4.apply_md(phi)
+        assert rck4.covers(applied)
+        assert applied.length == 3
+
+    def test_apply_deduplicates_lhs(self, target, pair):
+        key = RelativeKey.from_triples(
+            target, [("email", "email", "="), ("addr", "post", "=")]
+        )
+        phi = MatchingDependency(
+            pair, [("email", "email", "=")], [("addr", "post")]
+        )
+        applied = key.apply_md(phi)
+        # email appears once, not twice.
+        assert applied.length == 1
+        assert applied.attribute_pairs() == (("email", "email"),)
+
+    def test_apply_rejects_foreign_pair(self, rck4, self_pair):
+        foreign = MatchingDependency(
+            self_pair, [("A", "A", "=")], [("B", "B")]
+        )
+        with pytest.raises(ValueError, match="different schema pair"):
+            rck4.apply_md(foreign)

@@ -1,0 +1,166 @@
+"""Unit tests for schemas, qualified attributes and comparable lists."""
+
+import pytest
+
+from repro.core.schema import (
+    LEFT,
+    RIGHT,
+    Attribute,
+    ComparableLists,
+    QualifiedAttribute,
+    RelationSchema,
+    SchemaPair,
+)
+
+
+class TestAttribute:
+    def test_default_domain(self):
+        assert Attribute("FN").domain == "string"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_str(self):
+        assert str(Attribute("LN")) == "LN"
+
+
+class TestRelationSchema:
+    def test_basic_access(self):
+        schema = RelationSchema("credit", ["c#", "FN", "LN"])
+        assert schema.arity == 3
+        assert schema["FN"].name == "FN"
+        assert "LN" in schema
+        assert "missing" not in schema
+
+    def test_attribute_order_preserved(self):
+        schema = RelationSchema("R", ["B", "A", "C"])
+        assert schema.attribute_names == ("B", "A", "C")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RelationSchema("R", ["A", "A"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("", ["A"])
+
+    def test_missing_attribute_error_message(self):
+        schema = RelationSchema("R", ["A"])
+        with pytest.raises(KeyError, match="R"):
+            schema["B"]
+
+    def test_equality_and_hash(self):
+        first = RelationSchema("R", ["A", "B"])
+        second = RelationSchema("R", ["A", "B"])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != RelationSchema("R", ["A"])
+
+    def test_mixed_attribute_inputs(self):
+        schema = RelationSchema("R", [Attribute("A", "int"), "B"])
+        assert schema["A"].domain == "int"
+        assert schema["B"].domain == "string"
+
+
+class TestQualifiedAttribute:
+    def test_side_validation(self):
+        with pytest.raises(ValueError):
+            QualifiedAttribute(5, "R", "A")
+
+    def test_distinct_across_sides(self):
+        left = QualifiedAttribute(LEFT, "R", "A")
+        right = QualifiedAttribute(RIGHT, "R", "A")
+        assert left != right
+        assert left.display != right.display
+
+    def test_str_matches_paper_notation(self):
+        assert str(QualifiedAttribute(LEFT, "credit", "FN")) == "credit[FN]"
+
+
+class TestSchemaPair:
+    @pytest.fixture
+    def rs_pair(self):
+        return SchemaPair(
+            RelationSchema("R", ["A", "B"]),
+            RelationSchema("S", ["C", "D"]),
+        )
+
+    def test_attr_constructors_validate(self, rs_pair):
+        assert rs_pair.left_attr("A").side == LEFT
+        assert rs_pair.right_attr("C").side == RIGHT
+        with pytest.raises(KeyError):
+            rs_pair.left_attr("C")
+
+    def test_attr_by_side(self, rs_pair):
+        assert rs_pair.attr(LEFT, "A") == rs_pair.left_attr("A")
+        assert rs_pair.attr(RIGHT, "D") == rs_pair.right_attr("D")
+        with pytest.raises(ValueError):
+            rs_pair.attr(7, "A")
+
+    def test_schema_accessor(self, rs_pair):
+        assert rs_pair.schema(LEFT).name == "R"
+        assert rs_pair.schema(RIGHT).name == "S"
+
+    def test_total_arity_is_h(self, rs_pair):
+        assert rs_pair.total_arity == 4
+
+    def test_all_qualified_attributes(self, rs_pair):
+        attrs = rs_pair.all_qualified_attributes()
+        assert len(attrs) == 4
+        assert len(set(attrs)) == 4
+
+    def test_comparable_checks(self, rs_pair):
+        assert rs_pair.comparable(["A", "B"], ["C", "D"])
+        assert not rs_pair.comparable(["A"], ["C", "D"])
+        assert not rs_pair.comparable(["A", "X"], ["C", "D"])
+
+    def test_comparable_requires_same_domain(self):
+        pair = SchemaPair(
+            RelationSchema("R", [Attribute("A", "int")]),
+            RelationSchema("S", [Attribute("B", "string")]),
+        )
+        assert not pair.comparable(["A"], ["B"])
+        with pytest.raises(ValueError, match="domains differ"):
+            pair.require_comparable(["A"], ["B"])
+
+    def test_require_comparable_reports_position(self, rs_pair):
+        with pytest.raises(ValueError, match="position 1"):
+            rs_pair.require_comparable(["A", "nope"], ["C", "D"])
+
+    def test_self_pair_allowed(self):
+        schema = RelationSchema("R", ["A"])
+        pair = SchemaPair(schema, schema)
+        assert pair.left_attr("A") != pair.right_attr("A")
+
+
+class TestComparableLists:
+    def test_positions(self, pair):
+        lists = ComparableLists(pair, ["FN", "LN"], ["FN", "LN"])
+        assert len(lists) == 2
+        assert lists[0] == ("FN", "FN")
+        assert list(lists) == [("FN", "FN"), ("LN", "LN")]
+
+    def test_validation_runs_at_construction(self, pair):
+        with pytest.raises(ValueError):
+            ComparableLists(pair, ["FN"], ["FN", "LN"])
+
+    def test_qualified_positions(self, pair):
+        lists = ComparableLists(pair, ["addr"], ["post"])
+        ((left, right),) = lists.qualified()
+        assert str(left) == "credit[addr]"
+        assert str(right) == "billing[post]"
+
+    def test_str_rendering(self, pair):
+        lists = ComparableLists(pair, ["FN"], ["FN"])
+        assert str(lists) == "([FN], [FN])"
+
+    def test_paper_target_shape(self, target):
+        # (Yc, Yb) of Example 1.1: five comparable positions.
+        assert len(target) == 5
+        assert target[2] == ("addr", "post")
+        assert target[3] == ("tel", "phn")

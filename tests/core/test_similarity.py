@@ -1,0 +1,55 @@
+"""Unit tests for symbolic similarity operators."""
+
+import pytest
+
+from repro.core.similarity import (
+    EQUALITY,
+    SimilarityOperator,
+    as_operator,
+    operator_universe,
+)
+
+
+class TestSimilarityOperator:
+    def test_equality_flag(self):
+        assert EQUALITY.is_equality
+        assert not SimilarityOperator("dl(0.8)").is_equality
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityOperator("")
+
+    def test_value_identity(self):
+        assert SimilarityOperator("dl(0.8)") == SimilarityOperator("dl(0.8)")
+        assert SimilarityOperator("dl(0.8)") != SimilarityOperator("dl(0.9)")
+
+    def test_ordering_is_by_name(self):
+        ops = sorted([SimilarityOperator("b"), SimilarityOperator("a")])
+        assert [op.name for op in ops] == ["a", "b"]
+
+    def test_str(self):
+        assert str(SimilarityOperator("jw(0.9)")) == "jw(0.9)"
+
+
+class TestAsOperator:
+    def test_from_string(self):
+        assert as_operator("=") == EQUALITY
+
+    def test_passthrough(self):
+        op = SimilarityOperator("dl(0.8)")
+        assert as_operator(op) is op
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_operator(42)
+
+
+class TestOperatorUniverse:
+    def test_always_contains_equality(self):
+        assert EQUALITY in operator_universe([])
+
+    def test_dedup(self):
+        universe = operator_universe(
+            [SimilarityOperator("dl(0.8)"), SimilarityOperator("dl(0.8)")]
+        )
+        assert len(universe) == 2  # = and dl(0.8)

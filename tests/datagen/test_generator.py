@@ -1,0 +1,174 @@
+"""Unit tests for the dataset generator and its ground truth."""
+
+import pytest
+
+from repro.datagen.generator import figure1_instances, generate_dataset
+from repro.datagen.noise import NoiseModel
+
+
+class TestShape:
+    def test_billing_size_exact(self, small_dataset):
+        assert len(small_dataset.billing) == 300
+
+    def test_credit_one_tuple_per_holder(self, small_dataset):
+        entities = set(small_dataset.credit_entity.values())
+        assert len(small_dataset.credit) == len(entities)
+
+    def test_duplicate_fraction(self, small_dataset):
+        # 80 % duplicates: base count is 20 % of K.
+        assert len(small_dataset.credit) == pytest.approx(60, abs=1)
+
+    def test_schemas_match_pair(self, small_dataset):
+        assert small_dataset.credit.schema == small_dataset.pair.left
+        assert small_dataset.billing.schema == small_dataset.pair.right
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            generate_dataset(1)
+
+    def test_duplicate_fraction_validation(self):
+        with pytest.raises(ValueError):
+            generate_dataset(100, duplicate_fraction=1.0)
+
+    def test_fraction_sum_validation(self):
+        with pytest.raises(ValueError):
+            generate_dataset(
+                100, household_fraction=0.6, namesake_fraction=0.5
+            )
+
+
+class TestTruth:
+    def test_every_billing_tuple_has_a_match(self, small_dataset):
+        matched_billing = {b for _, b in small_dataset.true_matches}
+        assert matched_billing == set(small_dataset.billing.tids())
+
+    def test_truth_consistent_with_entities(self, small_dataset):
+        for credit_tid, billing_tid in small_dataset.true_matches:
+            assert (
+                small_dataset.credit_entity[credit_tid]
+                == small_dataset.billing_entity[billing_tid]
+            )
+
+    def test_is_true_match_helper(self, small_dataset):
+        some_pair = next(iter(small_dataset.true_matches))
+        assert small_dataset.is_true_match(*some_pair)
+        assert not small_dataset.is_true_match(-1, -1)
+
+    def test_total_pairs(self, small_dataset):
+        assert small_dataset.total_pairs == len(small_dataset.credit) * len(
+            small_dataset.billing
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        first = generate_dataset(100, seed=5)
+        second = generate_dataset(100, seed=5)
+        assert first.true_matches == second.true_matches
+        for tid in first.billing.tids():
+            assert first.billing[tid].values() == second.billing[tid].values()
+
+    def test_different_seed_different_data(self):
+        first = generate_dataset(100, seed=5)
+        second = generate_dataset(100, seed=6)
+        assert any(
+            first.billing[tid].values() != second.billing[tid].values()
+            for tid in first.billing.tids()
+        )
+
+
+class TestNoiseApplication:
+    def test_zero_noise_keeps_duplicates_clean(self):
+        dataset = generate_dataset(
+            100, noise=NoiseModel(tuple_rate=0.0), seed=1
+        )
+        # Every billing tuple of an entity agrees with its credit holder
+        # on every identity attribute.
+        for credit_tid, billing_tid in dataset.true_matches:
+            credit_row = dataset.credit[credit_tid]
+            billing_row = dataset.billing[billing_tid]
+            for left_attr, right_attr in dataset.target:
+                assert credit_row[left_attr] == billing_row[right_attr]
+
+    def test_full_noise_damages_most_duplicates(self):
+        clean = generate_dataset(200, noise=NoiseModel(tuple_rate=0.0), seed=2)
+        noisy = generate_dataset(200, noise=NoiseModel(tuple_rate=1.0), seed=2)
+        differing = 0
+        for credit_tid, billing_tid in noisy.true_matches:
+            credit_row = noisy.credit[credit_tid]
+            billing_row = noisy.billing[billing_tid]
+            if any(
+                credit_row[left] != billing_row[right]
+                for left, right in noisy.target
+            ):
+                differing += 1
+        assert differing > 0.5 * len(noisy.true_matches) - len(noisy.credit)
+
+
+class TestHouseholdsAndNamesakes:
+    def test_households_share_surname_and_address(self):
+        dataset = generate_dataset(
+            300, seed=9, household_fraction=0.5, namesake_fraction=0.0
+        )
+        rows = dataset.credit.rows()
+        shared = 0
+        for i, first in enumerate(rows):
+            for second in rows[i + 1:]:
+                if (
+                    first["LN"] == second["LN"]
+                    and first["street"] == second["street"]
+                    and first["zip"] == second["zip"]
+                ):
+                    shared += 1
+                    # distinct people: own card and email
+                    assert first["c#"] != second["c#"]
+                    assert first["email"] != second["email"]
+        assert shared > 0
+
+    def test_namesakes_exist(self):
+        dataset = generate_dataset(
+            300, seed=9, household_fraction=0.0, namesake_fraction=0.5
+        )
+        rows = dataset.credit.rows()
+        names = {}
+        namesakes = 0
+        for row in rows:
+            key = (row["FN"], row["LN"])
+            namesakes += names.get(key, 0)
+            names[key] = names.get(key, 0) + 1
+        assert namesakes > 0
+
+    def test_shared_cards_when_households_present(self):
+        dataset = generate_dataset(
+            400,
+            seed=11,
+            household_fraction=0.5,
+            shared_card_probability=1.0,
+        )
+        # Some billing tuple must carry a c# that belongs to a different
+        # entity's credit tuple.
+        card_owner = {
+            dataset.credit[tid]["c#"]: entity
+            for tid, entity in dataset.credit_entity.items()
+        }
+        crossed = sum(
+            1
+            for tid, entity in dataset.billing_entity.items()
+            if card_owner.get(dataset.billing[tid]["c#"], entity) != entity
+        )
+        assert crossed > 0
+
+
+class TestFigure1:
+    def test_tuple_values(self):
+        pair, credit, billing = figure1_instances()
+        assert credit[0]["FN"] == "Mark"
+        assert billing[0]["FN"] == "Marx"
+        assert billing[2]["LN"] == "Clivord"
+        assert billing[1]["post"] == "NJ"
+        assert billing[0]["gender"] is None
+
+    def test_sizes(self):
+        _, credit, billing = figure1_instances()
+        assert len(credit) == 2
+        assert len(billing) == 4

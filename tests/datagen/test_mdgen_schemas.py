@@ -1,0 +1,120 @@
+"""Tests for the random MD workload generator and the paper schemas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import ClosureEngine
+from repro.datagen.mdgen import generate_workload, synthetic_pair
+from repro.datagen.schemas import (
+    BILLING_EXTENDED_ATTRIBUTES,
+    CREDIT_EXTENDED_ATTRIBUTES,
+    credit_billing_pair,
+    extended_mds,
+    extended_pair,
+    extended_target,
+    paper_mds,
+    paper_target,
+)
+
+
+class TestSyntheticPair:
+    def test_arity(self):
+        pair = synthetic_pair(5)
+        assert pair.left.arity == 5
+        assert pair.right.arity == 5
+
+    def test_minimum_arity(self):
+        with pytest.raises(ValueError):
+            synthetic_pair(1)
+
+
+class TestGenerateWorkload:
+    def test_exact_md_count(self):
+        workload = generate_workload(md_count=40, target_length=5, seed=3)
+        assert len(workload.sigma) == 40
+
+    def test_target_length(self):
+        workload = generate_workload(md_count=10, target_length=7, seed=3)
+        assert len(workload.target) == 7
+
+    def test_no_duplicate_mds(self):
+        workload = generate_workload(md_count=60, target_length=5, seed=4)
+        keys = {
+            (frozenset(md.lhs), frozenset(md.rhs)) for md in workload.sigma
+        }
+        assert len(keys) == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_workload(md_count=0, target_length=3)
+        with pytest.raises(ValueError):
+            generate_workload(md_count=5, target_length=0)
+        with pytest.raises(ValueError):
+            generate_workload(md_count=5, target_length=6, arity=3)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, seed):
+        first = generate_workload(md_count=15, target_length=4, seed=seed)
+        second = generate_workload(md_count=15, target_length=4, seed=seed)
+        assert list(first.sigma) == list(second.sigma)
+
+    def test_workload_usable_by_engine(self):
+        workload = generate_workload(md_count=30, target_length=5, seed=5)
+        engine = ClosureEngine(workload.pair, list(workload.sigma))
+        assert engine.deduces(list(workload.sigma)[0])
+
+
+class TestPaperSchemas:
+    def test_example_schema_attributes(self):
+        pair = credit_billing_pair()
+        assert pair.left.arity == 9
+        assert pair.right.arity == 9
+        assert "SSN" in pair.left
+        assert "item" in pair.right
+
+    def test_example_target_comparable(self):
+        pair = credit_billing_pair()
+        target = paper_target(pair)
+        assert len(target) == 5
+
+    def test_paper_mds_shapes(self):
+        pair = credit_billing_pair()
+        phi1, phi2, phi3 = paper_mds(pair)
+        assert len(phi1.lhs) == 3 and len(phi1.rhs) == 5
+        assert len(phi2.lhs) == 1 and len(phi2.rhs) == 1
+        assert len(phi3.lhs) == 1 and len(phi3.rhs) == 2
+
+    def test_extended_arities_match_section_62(self):
+        # "which have 13 and 21 attributes, respectively"
+        assert len(CREDIT_EXTENDED_ATTRIBUTES) == 13
+        assert len(BILLING_EXTENDED_ATTRIBUTES) == 21
+        pair = extended_pair()
+        assert pair.left.arity == 13
+        assert pair.right.arity == 21
+
+    def test_extended_target_has_11_attributes(self):
+        pair = extended_pair()
+        assert len(extended_target(pair)) == 11
+
+    def test_extended_target_excludes_card_number(self):
+        pair = extended_pair()
+        target = extended_target(pair)
+        assert ("c#", "c#") not in target.attribute_pairs()
+
+    def test_seven_extended_mds(self):
+        pair = extended_pair()
+        assert len(extended_mds(pair)) == 7
+
+    def test_extended_mds_validate(self):
+        pair = extended_pair()
+        for dependency in extended_mds(pair):
+            assert dependency.size >= 2
+
+    def test_extended_mds_yield_multiple_rcks(self):
+        from repro.core.findrcks import find_rcks
+
+        pair = extended_pair()
+        keys = find_rcks(extended_mds(pair), extended_target(pair), m=10)
+        assert len(keys) >= 4

@@ -1,0 +1,124 @@
+"""Unit tests for the noise model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.noise import (
+    DEFAULT_MIX,
+    NoiseModel,
+    abbreviate,
+    double_typo,
+    drop_tokens,
+    harsh_noise,
+    light_noise,
+    null_out,
+    scramble,
+    typo,
+)
+
+_words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestOperators:
+    @given(word=_words, seed=st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_typo_changes_value(self, word, seed):
+        rng = random.Random(seed)
+        assert typo(rng, word) != word or len(word) == 0
+
+    @given(word=_words, seed=st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_typo_single_edit_distance(self, word, seed):
+        from repro.metrics.damerau_levenshtein import (
+            damerau_levenshtein_distance,
+        )
+
+        rng = random.Random(seed)
+        damaged = typo(rng, word)
+        assert damerau_levenshtein_distance(word, damaged) <= 1
+
+    def test_typo_on_empty(self):
+        assert typo(random.Random(0), "") != ""
+
+    @given(word=_words, seed=st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_double_typo_bounded_edits(self, word, seed):
+        from repro.metrics.damerau_levenshtein import (
+            damerau_levenshtein_distance,
+        )
+
+        rng = random.Random(seed)
+        # Two single-character operations; the OSA variant may count a
+        # transposition followed by an overlapping edit as 3.
+        assert damerau_levenshtein_distance(word, double_typo(rng, word)) <= 3
+
+    def test_abbreviate_street(self):
+        assert abbreviate(random.Random(0), "10 Oak Street") == "10 Oak St"
+
+    def test_abbreviate_single_word_to_initial(self):
+        assert abbreviate(random.Random(0), "Mark") == "M."
+
+    def test_drop_tokens_keeps_suffix(self):
+        rng = random.Random(3)
+        result = drop_tokens(rng, "10 Oak Street, MH, NJ 07974")
+        assert result
+        tokens = "10 Oak Street, MH, NJ 07974".replace(",", " ").split()
+        assert result.split() == tokens[-len(result.split()):]
+
+    def test_null_out(self):
+        assert null_out(random.Random(0), "anything") is None
+
+    def test_scramble_changes_completely(self):
+        result = scramble(random.Random(0), "Clifford")
+        assert result != "Clifford"
+        assert 3 <= len(result) <= 12
+
+
+class TestNoiseModel:
+    def test_default_mixture_installed(self):
+        assert NoiseModel().mixture == DEFAULT_MIX
+
+    def test_invalid_tuple_rate(self):
+        with pytest.raises(ValueError):
+            NoiseModel(tuple_rate=1.5)
+
+    def test_empty_damage_counts_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(damage_counts=())
+
+    def test_negative_damage_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(damage_counts=((-1, 1.0),))
+
+    def test_tuple_rate_statistics(self):
+        model = NoiseModel(tuple_rate=0.8)
+        rng = random.Random(0)
+        noisy = sum(model.is_noisy_tuple(rng) for _ in range(10_000))
+        assert 0.77 < noisy / 10_000 < 0.83
+
+    def test_damage_count_bounded_by_attributes(self):
+        model = NoiseModel(damage_counts=((9, 1.0),))
+        assert model.draw_damage_count(random.Random(0), 4) == 4
+
+    def test_damage_count_distribution(self):
+        model = NoiseModel(damage_counts=((1, 0.5), (2, 0.5)))
+        rng = random.Random(1)
+        draws = [model.draw_damage_count(rng, 11) for _ in range(5000)]
+        assert set(draws) == {1, 2}
+        assert 0.45 < draws.count(1) / 5000 < 0.55
+
+    def test_apply_operator_uses_mixture(self):
+        model = NoiseModel(mixture=((null_out, 1.0),))
+        assert model.apply_operator(random.Random(0), "x") is None
+
+    def test_light_and_harsh_presets(self):
+        assert light_noise().tuple_rate == 0.8
+        assert harsh_noise().tuple_rate == 1.0
+        assert harsh_noise().draw_damage_count(random.Random(0), 11) == 9

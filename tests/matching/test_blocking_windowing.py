@@ -1,0 +1,170 @@
+"""Unit tests for blocking and windowing candidate generation."""
+
+import pytest
+
+from repro.core.rck import RelativeKey
+from repro.core.schema import RelationSchema
+from repro.matching.blocking import (
+    attribute_key,
+    block_pairs,
+    multi_pass_block_pairs,
+    rck_blocking_keys,
+)
+from repro.matching.windowing import (
+    multi_pass_window_pairs,
+    rck_sort_keys,
+    window_pairs,
+)
+from repro.metrics.soundex import soundex
+from repro.relations.relation import Relation
+
+
+@pytest.fixture
+def left_relation():
+    schema = RelationSchema("L", ["name", "zip"])
+    return Relation(
+        schema,
+        [
+            {"name": "Clifford", "zip": "07974"},
+            {"name": "Smith", "zip": "07974"},
+            {"name": "Jones", "zip": "10001"},
+        ],
+    )
+
+
+@pytest.fixture
+def right_relation():
+    schema = RelationSchema("R", ["name", "zip"])
+    return Relation(
+        schema,
+        [
+            {"name": "Clivord", "zip": "07974"},
+            {"name": "Smith", "zip": "99999"},
+        ],
+    )
+
+
+class TestAttributeKey:
+    def test_plain_key(self, left_relation):
+        key = attribute_key(["zip"])
+        assert key(left_relation[0]) == ("07974",)
+
+    def test_encoded_key(self, left_relation):
+        key = attribute_key(["name"], [soundex])
+        assert key(left_relation[0]) == (soundex("Clifford"),)
+
+    def test_null_encoded_as_empty(self):
+        schema = RelationSchema("L", ["name"])
+        relation = Relation(schema, [{"name": None}])
+        key = attribute_key(["name"])
+        assert key(relation[0]) == ("",)
+
+    def test_encoder_count_validation(self):
+        with pytest.raises(ValueError):
+            attribute_key(["a", "b"], [None])
+
+
+class TestBlocking:
+    def test_exact_blocking(self, left_relation, right_relation):
+        key_left = attribute_key(["zip"])
+        key_right = attribute_key(["zip"])
+        pairs = block_pairs(left_relation, right_relation, key_left, key_right)
+        assert set(pairs) == {(0, 0), (1, 0)}
+
+    def test_soundex_blocking_bridges_typos(self, left_relation, right_relation):
+        key = attribute_key(["name"], [soundex])
+        pairs = block_pairs(left_relation, right_relation, key, key)
+        assert (0, 0) in pairs  # Clifford ~ Clivord
+
+    def test_multi_pass_union(self, left_relation, right_relation):
+        zip_key = attribute_key(["zip"])
+        name_key = attribute_key(["name"], [soundex])
+        pairs = multi_pass_block_pairs(
+            left_relation,
+            right_relation,
+            [(zip_key, zip_key), (name_key, name_key)],
+        )
+        single_zip = set(
+            block_pairs(left_relation, right_relation, zip_key, zip_key)
+        )
+        assert single_zip <= set(pairs)
+        assert (1, 1) in pairs  # Smith/Smith found by the name pass only
+
+
+class TestRckBlockingKeys:
+    def test_keys_from_rcks(self, target):
+        rcks = [
+            RelativeKey.from_triples(
+                target, [("LN", "LN", "="), ("tel", "phn", "=")]
+            ),
+            RelativeKey.from_triples(target, [("email", "email", "=")]),
+        ]
+        left_key, right_key = rck_blocking_keys(rcks, attribute_count=3)
+        # Needs a row-like object over credit/billing; use Fig. 1.
+        from repro.datagen.generator import figure1_instances
+
+        _, credit, billing = figure1_instances()
+        assert len(left_key(credit[0])) == 3
+        assert len(right_key(billing[0])) == 3
+
+    def test_too_few_pairs_rejected(self, target):
+        rcks = [RelativeKey.from_triples(target, [("email", "email", "=")])]
+        with pytest.raises(ValueError, match="distinct attribute"):
+            rck_blocking_keys(rcks, attribute_count=3)
+
+    def test_requires_rcks(self):
+        with pytest.raises(ValueError):
+            rck_blocking_keys([])
+
+
+class TestWindowing:
+    def test_window_two_adjacent_only(self, left_relation, right_relation):
+        key = attribute_key(["zip"])
+        pairs = window_pairs(left_relation, right_relation, key, key, window=2)
+        # sorted by zip: (L0, L1, R0 @07974), (L2 @10001), (R1 @99999)
+        assert (1, 0) in pairs
+
+    def test_window_grows_candidates(self, left_relation, right_relation):
+        key = attribute_key(["zip"])
+        small = set(window_pairs(left_relation, right_relation, key, key, 2))
+        large = set(window_pairs(left_relation, right_relation, key, key, 5))
+        assert small <= large
+        assert len(large) == 6  # all cross pairs within one window of 5
+
+    def test_window_below_two_empty(self, left_relation, right_relation):
+        key = attribute_key(["zip"])
+        assert window_pairs(left_relation, right_relation, key, key, 1) == []
+
+    def test_only_cross_side_pairs(self, left_relation, right_relation):
+        key = attribute_key(["zip"])
+        pairs = window_pairs(left_relation, right_relation, key, key, 10)
+        for left_tid, right_tid in pairs:
+            assert left_tid in left_relation
+            assert right_tid in right_relation
+
+    def test_multi_pass_window(self, left_relation, right_relation):
+        zip_key = attribute_key(["zip"])
+        name_key = attribute_key(["name"], [soundex])
+        union = multi_pass_window_pairs(
+            left_relation,
+            right_relation,
+            [(zip_key, zip_key), (name_key, name_key)],
+            window=2,
+        )
+        assert set(
+            window_pairs(left_relation, right_relation, zip_key, zip_key, 2)
+        ) <= set(union)
+
+    def test_rck_sort_keys(self, target):
+        rcks = [
+            RelativeKey.from_triples(
+                target, [("LN", "LN", "="), ("tel", "phn", "=")]
+            ),
+            RelativeKey.from_triples(target, [("email", "email", "=")]),
+        ]
+        left_key, right_key = rck_sort_keys(rcks, attribute_count=2)
+        from repro.datagen.generator import figure1_instances
+
+        _, credit, billing = figure1_instances()
+        assert left_key(credit[0]) == ("Clifford", "908-1111111")
+        assert right_key(billing[0]) == ("Clifford", "908")

@@ -1,0 +1,80 @@
+"""Unit tests for comparison vectors / specs."""
+
+import pytest
+
+from repro.core.rck import RelativeKey
+from repro.matching.comparison import (
+    ComparisonSpec,
+    equality_spec,
+    spec_from_rck,
+    union_of_rcks,
+)
+
+
+class TestComparisonSpec:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonSpec(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ComparisonSpec((("a", "a", "="), ("a", "a", "=")))
+
+    def test_compare_vector(self, fig1):
+        _, credit, billing = fig1
+        spec = ComparisonSpec(
+            (("LN", "LN", "="), ("FN", "FN", "dl(0.8)"), ("email", "email", "="))
+        )
+        vector = spec.compare(credit[0], billing[0])  # t1 vs t3
+        assert vector == (True, True, False)
+
+    def test_agrees_on_all_short_circuit(self, fig1):
+        _, credit, billing = fig1
+        spec = ComparisonSpec((("email", "email", "="), ("tel", "phn", "=")))
+        assert not spec.agrees_on_all(credit[0], billing[0])  # t3: email "mc"
+        assert spec.agrees_on_all(credit[0], billing[3])  # t6: both agree
+
+    def test_attribute_pairs(self):
+        spec = ComparisonSpec((("tel", "phn", "="),))
+        assert spec.attribute_pairs() == (("tel", "phn"),)
+
+
+class TestSpecBuilders:
+    def test_spec_from_rck(self, target):
+        key = RelativeKey.from_triples(
+            target, [("email", "email", "="), ("tel", "phn", "=")]
+        )
+        spec = spec_from_rck(key)
+        assert spec.features == (
+            ("email", "email", "="),
+            ("tel", "phn", "="),
+        )
+
+    def test_union_dedups_by_pair_prefers_similarity(self, target):
+        first = RelativeKey.from_triples(
+            target, [("FN", "FN", "="), ("tel", "phn", "=")]
+        )
+        second = RelativeKey.from_triples(
+            target, [("FN", "FN", "dl(0.8)"), ("email", "email", "=")]
+        )
+        spec = union_of_rcks([first, second])
+        by_pair = {
+            (left, right): op for left, right, op in spec.features
+        }
+        assert by_pair[("FN", "FN")] == "dl(0.8)"  # similarity wins
+        assert len(spec) == 3
+
+    def test_union_preserves_first_key_order(self, target):
+        first = RelativeKey.from_triples(target, [("tel", "phn", "=")])
+        second = RelativeKey.from_triples(target, [("email", "email", "=")])
+        spec = union_of_rcks([first, second])
+        assert spec.features[0][0] == "tel"
+
+    def test_union_requires_keys(self):
+        with pytest.raises(ValueError):
+            union_of_rcks([])
+
+    def test_equality_spec(self):
+        spec = equality_spec([("FN", "FN"), ("LN", "LN")])
+        assert all(op == "=" for _, _, op in spec.features)
+        assert len(spec) == 2

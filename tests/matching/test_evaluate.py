@@ -1,0 +1,76 @@
+"""Unit tests for precision/recall/PC/RR accounting."""
+
+import pytest
+
+from repro.matching.evaluate import (
+    MatchQuality,
+    evaluate_matches,
+    evaluate_reduction,
+)
+
+
+class TestMatchQuality:
+    def test_perfect(self):
+        truth = frozenset({(0, 0), (1, 1)})
+        quality = evaluate_matches([(0, 0), (1, 1)], truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_mixed(self):
+        truth = frozenset({(0, 0), (1, 1)})
+        quality = evaluate_matches([(0, 0), (2, 2)], truth)
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+        assert quality.true_positives == 1
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 1
+
+    def test_empty_prediction(self):
+        quality = evaluate_matches([], frozenset({(0, 0)}))
+        assert quality.precision == 1.0  # vacuous
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_empty_truth(self):
+        quality = evaluate_matches([(0, 0)], frozenset())
+        assert quality.recall == 1.0
+        assert quality.precision == 0.0
+
+    def test_duplicate_predictions_counted_once(self):
+        truth = frozenset({(0, 0)})
+        quality = evaluate_matches([(0, 0), (0, 0)], truth)
+        assert quality.precision == 1.0
+
+    def test_str(self):
+        quality = MatchQuality(1, 1, 0)
+        assert "precision=0.500" in str(quality)
+
+
+class TestReduction:
+    def test_pc_and_rr(self):
+        truth = frozenset({(0, 0), (1, 1)})
+        reduction = evaluate_reduction([(0, 0), (2, 2)], truth, total_pairs=100)
+        assert reduction.pairs_completeness == 0.5
+        assert reduction.reduction_ratio == pytest.approx(0.98)
+        assert reduction.candidate_count == 2
+
+    def test_empty_candidates(self):
+        reduction = evaluate_reduction([], frozenset({(0, 0)}), 10)
+        assert reduction.pairs_completeness == 0.0
+        assert reduction.reduction_ratio == 1.0
+
+    def test_empty_truth_pc_vacuous(self):
+        reduction = evaluate_reduction([(0, 0)], frozenset(), 10)
+        assert reduction.pairs_completeness == 1.0
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            evaluate_reduction([], frozenset(), 0)
+
+    def test_full_candidate_space_rr_zero(self):
+        truth = frozenset({(0, 0)})
+        candidates = [(i, j) for i in range(2) for j in range(2)]
+        reduction = evaluate_reduction(candidates, truth, 4)
+        assert reduction.reduction_ratio == 0.0
+        assert reduction.pairs_completeness == 1.0

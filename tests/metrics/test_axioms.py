@@ -1,0 +1,53 @@
+"""Property tests: every thresholded metric satisfies the generic axioms.
+
+Section 2.1 assumes each similarity operator is (a) reflexive,
+(b) symmetric, and (c) subsumes equality.  These are the only properties
+the reasoning machinery relies on, so every operator the registry can
+produce must satisfy them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.registry import default_registry
+
+_REGISTRY = default_registry()
+_OPERATOR_NAMES = [
+    f"{metric}(0.8)" for metric in _REGISTRY.known_metrics()
+] + ["="]
+
+_values = st.text(
+    alphabet=st.characters(min_codepoint=48, max_codepoint=122), max_size=12
+)
+
+
+@pytest.mark.parametrize("operator_name", _OPERATOR_NAMES)
+class TestGenericAxioms:
+    @given(value=_values)
+    @settings(max_examples=50)
+    def test_reflexive(self, operator_name, value):
+        operator = _REGISTRY.resolve(operator_name)
+        assert operator(value, value)
+
+    @given(left=_values, right=_values)
+    @settings(max_examples=50)
+    def test_symmetric(self, operator_name, left, right):
+        operator = _REGISTRY.resolve(operator_name)
+        assert operator(left, right) == operator(right, left)
+
+    @given(left=_values, right=_values)
+    @settings(max_examples=50)
+    def test_subsumes_equality(self, operator_name, left, right):
+        operator = _REGISTRY.resolve(operator_name)
+        if left == right:
+            assert operator(left, right)
+
+
+def test_similarity_not_assumed_transitive():
+    """Section 2.1: ≈ is *not* transitive in general — exhibit a witness."""
+    operator = _REGISTRY.resolve("lev(0.6)")
+    # Each neighbour is within the edit budget; the endpoints are not.
+    assert operator("aaaaa", "aaabb")
+    assert operator("aaabb", "abbbb")
+    assert not operator("aaaaa", "abbbb")

@@ -1,0 +1,118 @@
+"""Unit + property tests for the paper's DL metric and its threshold rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.damerau_levenshtein import (
+    PAPER_THETA,
+    DamerauLevenshtein,
+    damerau_levenshtein_distance,
+    damerau_levenshtein_within,
+    paper_dl_operator,
+)
+from repro.metrics.levenshtein import levenshtein_distance
+
+_words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12
+)
+
+
+class TestDistance:
+    def test_identical(self):
+        assert damerau_levenshtein_distance("same", "same") == 0
+
+    def test_substitution(self):
+        assert damerau_levenshtein_distance("Mark", "Marx") == 1
+
+    def test_adjacent_transposition_costs_one(self):
+        assert damerau_levenshtein_distance("abcd", "acbd") == 1
+
+    def test_osa_classic_ca_abc(self):
+        # The OSA variant gives 3 here (true Damerau distance would be 2).
+        assert damerau_levenshtein_distance("ca", "abc") == 3
+
+    def test_empty_sides(self):
+        assert damerau_levenshtein_distance("", "abc") == 3
+        assert damerau_levenshtein_distance("abc", "") == 3
+
+    def test_paper_example_clifford(self):
+        # "Clifford" vs "Clivord": substitution f→v plus deletion of one f.
+        assert damerau_levenshtein_distance("Clifford", "Clivord") == 2
+
+    @given(_words, _words)
+    def test_never_exceeds_levenshtein(self, left, right):
+        assert damerau_levenshtein_distance(
+            left, right
+        ) <= levenshtein_distance(left, right)
+
+    @given(_words, _words)
+    def test_symmetric(self, left, right):
+        assert damerau_levenshtein_distance(
+            left, right
+        ) == damerau_levenshtein_distance(right, left)
+
+    @given(_words)
+    def test_identity(self, word):
+        assert damerau_levenshtein_distance(word, word) == 0
+
+
+class TestWithin:
+    @given(_words, _words, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=300)
+    def test_agrees_with_full_distance(self, left, right, bound):
+        expected = damerau_levenshtein_distance(left, right) <= bound
+        assert damerau_levenshtein_within(left, right, bound) == expected
+
+    def test_negative_bound(self):
+        assert not damerau_levenshtein_within("a", "a", -1)
+
+    def test_zero_bound_identical(self):
+        assert damerau_levenshtein_within("abc", "abc", 0)
+
+    def test_zero_bound_different(self):
+        assert not damerau_levenshtein_within("abc", "abd", 0)
+
+
+class TestPaperOperator:
+    def test_mark_marx_match(self):
+        # Example 1.1: "Mark" ≈d "Marx" under the DL metric.
+        operator = paper_dl_operator()
+        assert operator("Mark", "Marx")
+
+    def test_clifford_clivord_match(self):
+        # DL distance 2, ceil budget ⌈(1-0.8)*8⌉ = 2 → a match at θ = 0.8.
+        assert paper_dl_operator()("Clifford", "Clivord")
+        # At θ = 0.9 the budget shrinks to ⌈0.8⌉ = 1 → no match.
+        assert not paper_dl_operator(0.9)("Clifford", "Clivord")
+
+    def test_threshold_rule_matches_section_6(self):
+        # v ≈θ v' iff DL(v, v') <= ⌈(1 − θ)·max(|v|, |v'|)⌉ (budget
+        # rounded up so the paper's Mark ≈d Marx example holds).
+        import math
+
+        metric = DamerauLevenshtein()
+        for left, right in [("Mark", "Marx"), ("smith", "smyth"), ("a", "b"),
+                            ("Clifford", "Clivord"), ("Mark", "M.")]:
+            distance = damerau_levenshtein_distance(left, right)
+            bound = math.ceil(
+                (1 - PAPER_THETA) * max(len(left), len(right)) - 1e-9
+            )
+            assert paper_dl_operator()(left, right) == (distance <= bound)
+            assert metric.similar(left, right, PAPER_THETA) == (
+                distance <= bound
+            )
+
+    def test_nulls_never_match(self):
+        operator = paper_dl_operator()
+        assert not operator(None, "x")
+        assert not operator("x", None)
+        assert not operator(None, None)
+
+    def test_paper_theta_value(self):
+        assert PAPER_THETA == pytest.approx(0.8)
+
+    @given(_words, _words)
+    def test_operator_name_stable(self, left, right):
+        operator = paper_dl_operator()
+        assert operator.name == "dl(0.8)"

@@ -1,0 +1,86 @@
+"""Unit tests for Jaro and Jaro–Winkler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.jaro import (
+    Jaro,
+    JaroWinkler,
+    jaro_similarity,
+    jaro_winkler_similarity,
+)
+
+_words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12
+)
+
+
+class TestJaro:
+    def test_classic_martha(self):
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(
+            0.944444, abs=1e-5
+        )
+
+    def test_classic_dixon(self):
+        assert jaro_similarity("DIXON", "DICKSONX") == pytest.approx(
+            0.766667, abs=1e-5
+        )
+
+    def test_identical(self):
+        assert jaro_similarity("same", "same") == 1.0
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_one_side(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_both_empty(self):
+        assert jaro_similarity("", "") == 1.0
+
+    @given(_words, _words)
+    def test_symmetric(self, left, right):
+        assert jaro_similarity(left, right) == pytest.approx(
+            jaro_similarity(right, left)
+        )
+
+    @given(_words, _words)
+    def test_bounded(self, left, right):
+        assert 0.0 <= jaro_similarity(left, right) <= 1.0
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler_similarity("MARTHA", "MARHTA") > jaro_similarity(
+            "MARTHA", "MARHTA"
+        )
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler_similarity("XMARTHA", "MARHTA") == pytest.approx(
+            jaro_similarity("XMARTHA", "MARHTA")
+        )
+
+    def test_prefix_capped_at_four(self):
+        # identical 10-char prefix must be treated like a 4-char one
+        base = jaro_similarity("abcdefghij", "abcdefghix")
+        boosted = jaro_winkler_similarity("abcdefghij", "abcdefghix")
+        assert boosted == pytest.approx(base + 4 * 0.1 * (1 - base))
+
+    @given(_words, _words)
+    def test_bounded(self, left, right):
+        assert 0.0 <= jaro_winkler_similarity(left, right) <= 1.0
+
+    @given(_words, _words)
+    def test_at_least_jaro(self, left, right):
+        assert jaro_winkler_similarity(left, right) >= jaro_similarity(
+            left, right
+        ) - 1e-12
+
+    def test_invalid_prefix_scale_rejected(self):
+        with pytest.raises(ValueError):
+            JaroWinkler(prefix_scale=0.5)
+
+    def test_metric_classes_expose_names(self):
+        assert Jaro().name == "jaro"
+        assert JaroWinkler().name == "jw"

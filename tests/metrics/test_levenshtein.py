@@ -1,0 +1,82 @@
+"""Unit tests for the Levenshtein metric."""
+
+import pytest
+
+from repro.metrics.levenshtein import Levenshtein, levenshtein_distance
+
+
+class TestDistance:
+    def test_identical(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty_vs_nonempty(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein_distance("", "") == 0
+
+    def test_classic_kitten(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("Mark", "Marx") == 1
+
+    def test_single_insertion(self):
+        assert levenshtein_distance("abc", "abxc") == 1
+
+    def test_single_deletion(self):
+        assert levenshtein_distance("abcd", "abd") == 1
+
+    def test_transposition_costs_two(self):
+        # Plain Levenshtein has no transposition operation.
+        assert levenshtein_distance("ab", "ba") == 2
+
+    def test_symmetry(self):
+        assert levenshtein_distance("flaw", "lawn") == levenshtein_distance(
+            "lawn", "flaw"
+        )
+
+    def test_completely_different(self):
+        assert levenshtein_distance("abc", "xyz") == 3
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        assert Levenshtein().similarity("same", "same") == 1.0
+
+    def test_empty_pair_is_one(self):
+        assert Levenshtein().similarity("", "") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert Levenshtein().similarity("abc", "xyz") == 0.0
+
+    def test_normalization(self):
+        # one edit over max length 4
+        assert Levenshtein().similarity("Mark", "Marx") == pytest.approx(0.75)
+
+    def test_range(self):
+        sim = Levenshtein().similarity("Clifford", "Clivord")
+        assert 0.0 <= sim <= 1.0
+
+
+class TestSimilarThreshold:
+    def test_matches_full_computation(self):
+        metric = Levenshtein()
+        for left, right in [
+            ("Mark", "Marx"),
+            ("Clifford", "Clivord"),
+            ("a", "abcdef"),
+            ("", "x"),
+        ]:
+            for theta in (0.5, 0.8, 0.9):
+                assert metric.similar(left, right, theta) == (
+                    metric.similarity(left, right) >= theta
+                )
+
+    def test_length_gap_early_exit(self):
+        # distance >= length gap, so a huge gap must fail for high theta
+        assert not Levenshtein().similar("ab", "abcdefghij", 0.9)
+
+    def test_empty_pair(self):
+        assert Levenshtein().similar("", "", 1.0)

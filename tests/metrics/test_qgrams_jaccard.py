@@ -1,0 +1,96 @@
+"""Unit tests for the q-gram and token-Jaccard metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.jaccard import Jaccard, jaccard_similarity, tokenize
+from repro.metrics.qgrams import QGram, qgram_profile, qgram_similarity
+
+_words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=15
+)
+
+
+class TestQGramProfile:
+    def test_unpadded_bigrams(self):
+        assert sorted(qgram_profile("abc", q=2, pad=False)) == ["ab", "bc"]
+
+    def test_padded_count(self):
+        # L + q - 1 grams with padding
+        assert sum(qgram_profile("abc", q=2).values()) == 4
+
+    def test_multiset_counts_repeats(self):
+        profile = qgram_profile("aaa", q=2, pad=False)
+        assert profile["aa"] == 2
+
+    def test_short_string_unpadded_empty(self):
+        assert qgram_profile("a", q=2, pad=False) == {}
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgram_profile("abc", q=0)
+
+    def test_qgram_metric_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            QGram(0)
+
+
+class TestQGramSimilarity:
+    def test_identical(self):
+        assert qgram_similarity("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert qgram_similarity("aaa", "zzz") == 0.0
+
+    def test_both_empty(self):
+        assert qgram_similarity("", "") == 1.0
+
+    def test_small_edit_high_similarity(self):
+        assert qgram_similarity("clifford", "clifforx") > 0.6
+
+    @given(_words, _words)
+    def test_symmetric_and_bounded(self, left, right):
+        value = qgram_similarity(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(qgram_similarity(right, left))
+
+    def test_metric_name_includes_q(self):
+        assert QGram(3).name == "qgram3"
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("10 Oak Street, MH") == {"10", "oak", "street", "mh"}
+
+    def test_case_folding(self):
+        assert tokenize("OAK oak Oak") == {"oak"}
+
+    def test_empty(self):
+        assert tokenize("") == frozenset()
+
+    def test_punctuation_only(self):
+        assert tokenize(",,, --- !!!") == frozenset()
+
+
+class TestJaccard:
+    def test_paper_style_addresses(self):
+        assert jaccard_similarity("10 Oak Street", "10 Oak St") == pytest.approx(
+            0.5
+        )
+
+    def test_identical(self):
+        assert jaccard_similarity("a b c", "a b c") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity("a b", "c d") == 0.0
+
+    def test_word_order_invariant(self):
+        assert jaccard_similarity("oak street", "street oak") == 1.0
+
+    @given(_words, _words)
+    def test_bounded(self, left, right):
+        assert 0.0 <= jaccard_similarity(left, right) <= 1.0
+
+    def test_metric_class(self):
+        assert Jaccard().similarity("a b", "a c") == pytest.approx(1 / 3)

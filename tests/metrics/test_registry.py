@@ -1,0 +1,85 @@
+"""Unit tests for operator-name resolution."""
+
+import pytest
+
+from repro.metrics.base import ThresholdOperator, exact_equality
+from repro.metrics.levenshtein import Levenshtein
+from repro.metrics.registry import EQ, MetricRegistry, default_registry
+
+
+class TestResolve:
+    def test_equality_name(self):
+        registry = default_registry()
+        assert registry.resolve(EQ) is exact_equality
+
+    def test_thresholded_metric(self):
+        registry = default_registry()
+        operator = registry.resolve("dl(0.8)")
+        assert operator("Mark", "Marx")
+        assert not operator("Mark", "David")
+
+    def test_all_default_metrics_resolvable(self):
+        registry = default_registry()
+        for name in registry.known_metrics():
+            predicate = registry.resolve(f"{name}(0.9)")
+            assert predicate("same", "same")  # equality subsumption
+
+    def test_cache_returns_same_object(self):
+        registry = default_registry()
+        assert registry.resolve("lev(0.8)") is registry.resolve("lev(0.8)")
+
+    def test_distinct_thresholds_distinct_operators(self):
+        registry = default_registry()
+        assert registry.resolve("lev(0.8)") is not registry.resolve("lev(0.9)")
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            default_registry().resolve("nosuch(0.5)")
+
+    @pytest.mark.parametrize(
+        "bad", ["dl", "dl()", "dl(2.0)", "dl(-0.1)", "(0.8)", "dl 0.8"]
+    )
+    def test_malformed_names(self, bad):
+        with pytest.raises(ValueError):
+            default_registry().resolve(bad)
+
+
+class TestRegistration:
+    def test_register_custom_metric(self):
+        registry = MetricRegistry()
+        registry.register("lev", Levenshtein)
+        assert registry.resolve("lev(0.5)")("abcd", "abcx")
+
+    def test_reregister_invalidates_cache(self):
+        registry = MetricRegistry()
+        registry.register("lev", Levenshtein)
+        first = registry.resolve("lev(0.5)")
+        registry.register("lev", Levenshtein)
+        assert registry.resolve("lev(0.5)") is not first
+
+    def test_metric_lookup_error_lists_known(self):
+        registry = MetricRegistry()
+        registry.register("lev", Levenshtein)
+        with pytest.raises(KeyError, match="lev"):
+            registry.metric("jaro")
+
+
+class TestThresholdOperator:
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            ThresholdOperator(Levenshtein(), 1.5)
+
+    def test_name_format(self):
+        assert ThresholdOperator(Levenshtein(), 0.8).name == "lev(0.8)"
+
+    def test_equality_subsumption_even_at_theta_one(self):
+        operator = ThresholdOperator(Levenshtein(), 1.0)
+        assert operator("exact", "exact")
+
+    def test_none_handling(self):
+        operator = ThresholdOperator(Levenshtein(), 0.0)
+        assert not operator(None, None)
+
+    def test_non_string_inputs_coerced(self):
+        operator = ThresholdOperator(Levenshtein(), 0.5)
+        assert operator(1234, "1234")

@@ -1,0 +1,69 @@
+"""Unit tests for the Soundex encoder used in blocking keys."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.soundex import SoundexMetric, soundex
+
+_words = st.text(
+    alphabet=st.characters(min_codepoint=65, max_codepoint=122), max_size=15
+)
+
+
+class TestSoundexCodes:
+    def test_classic_robert_rupert(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+
+    def test_classic_ashcraft(self):
+        # H between S and C is transparent: S and C codes merge.
+        assert soundex("Ashcraft") == "A261"
+
+    def test_classic_tymczak(self):
+        assert soundex("Tymczak") == "T522"
+
+    def test_classic_pfister(self):
+        assert soundex("Pfister") == "P236"
+
+    def test_honeyman(self):
+        assert soundex("Honeyman") == "H555"
+
+    def test_paper_clifford_clivord(self):
+        # The Fig. 1 misspelling blocks with the original under Soundex.
+        assert soundex("Clifford") == soundex("Clivord")
+
+    def test_vowel_separator_allows_repeat(self):
+        # Adjacent same-code letters collapse, but a vowel resets.
+        assert soundex("Gauss") == "G200"
+
+    def test_padding_short_codes(self):
+        assert soundex("Lee") == "L000"
+
+    def test_empty_and_non_alpha(self):
+        assert soundex("") == "0000"
+        assert soundex("12345") == "0000"
+
+    def test_case_insensitive(self):
+        assert soundex("CLIFFORD") == soundex("clifford")
+
+    def test_ignores_embedded_digits(self):
+        assert soundex("Cl1fford") == soundex("Clfford")
+
+    @given(_words)
+    def test_shape_invariant(self, word):
+        code = soundex(word)
+        assert len(code) == 4
+        assert code[0].isalpha() or code == "0000"
+        assert all(ch.isdigit() for ch in code[1:])
+
+
+class TestSoundexMetric:
+    def test_binary_similarity(self):
+        metric = SoundexMetric()
+        assert metric.similarity("Robert", "Rupert") == 1.0
+        assert metric.similarity("Robert", "Smith") == 0.0
+
+    def test_thresholded_operator(self):
+        operator = SoundexMetric().thresholded(0.5)
+        assert operator("Clifford", "Clivord")
+        assert not operator("Clifford", "Jones")

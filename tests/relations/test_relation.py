@@ -1,0 +1,114 @@
+"""Unit tests for the relational substrate."""
+
+import pytest
+
+from repro.core.schema import RelationSchema
+from repro.relations.relation import Relation, Row
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", ["A", "B"])
+
+
+class TestInsert:
+    def test_auto_tids_sequential(self, schema):
+        relation = Relation(schema)
+        assert relation.insert({"A": 1}) == 0
+        assert relation.insert({"A": 2}) == 1
+
+    def test_missing_attributes_become_null(self, schema):
+        relation = Relation(schema)
+        tid = relation.insert({"A": 1})
+        assert relation[tid]["B"] is None
+
+    def test_unknown_attribute_rejected(self, schema):
+        relation = Relation(schema)
+        with pytest.raises(KeyError, match="X"):
+            relation.insert({"X": 1})
+
+    def test_explicit_tid(self, schema):
+        relation = Relation(schema)
+        assert relation.insert({"A": 1}, tid=10) == 10
+        # subsequent auto tid continues beyond
+        assert relation.insert({"A": 2}) == 11
+
+    def test_duplicate_tid_rejected(self, schema):
+        relation = Relation(schema)
+        relation.insert({"A": 1}, tid=3)
+        with pytest.raises(ValueError):
+            relation.insert({"A": 2}, tid=3)
+
+    def test_constructor_bulk_rows(self, schema):
+        relation = Relation(schema, [{"A": 1}, {"A": 2}])
+        assert len(relation) == 2
+
+
+class TestAccess:
+    def test_getitem_missing(self, schema):
+        relation = Relation(schema)
+        with pytest.raises(KeyError, match="no tuple"):
+            relation[99]
+
+    def test_contains(self, schema):
+        relation = Relation(schema, [{"A": 1}])
+        assert 0 in relation
+        assert 1 not in relation
+
+    def test_iteration_order(self, schema):
+        relation = Relation(schema, [{"A": i} for i in range(5)])
+        assert [row["A"] for row in relation] == list(range(5))
+        assert relation.tids() == list(range(5))
+
+    def test_set_value(self, schema):
+        relation = Relation(schema, [{"A": 1, "B": 2}])
+        relation.set_value(0, "B", 99)
+        assert relation[0]["B"] == 99
+
+    def test_set_value_unknown_attribute(self, schema):
+        relation = Relation(schema, [{"A": 1}])
+        with pytest.raises(KeyError):
+            relation.set_value(0, "X", 1)
+
+
+class TestRow:
+    def test_project(self, schema):
+        relation = Relation(schema, [{"A": 1, "B": 2}])
+        assert relation[0].project(["B", "A"]) == (2, 1)
+
+    def test_values_copy(self, schema):
+        relation = Relation(schema, [{"A": 1, "B": 2}])
+        values = relation[0].values()
+        values["A"] = 42
+        assert relation[0]["A"] == 1
+
+    def test_get_with_default(self, schema):
+        relation = Relation(schema, [{"A": 1}])
+        assert relation[0].get("missing", "dflt") == "dflt"
+
+    def test_equality_by_tid_and_values(self, schema):
+        first = Relation(schema, [{"A": 1}])
+        second = Relation(schema, [{"A": 1}])
+        assert first[0] == second[0]
+
+
+class TestExtension:
+    def test_copy_preserves_tids_and_is_extension(self, schema):
+        relation = Relation(schema, [{"A": 1}, {"A": 2}])
+        duplicate = relation.copy()
+        assert duplicate.extends(relation)
+        assert relation.extends(duplicate)
+        duplicate.set_value(0, "A", 99)
+        # Values may differ — still an extension (⊑ tracks tuple ids).
+        assert duplicate.extends(relation)
+        assert relation[0]["A"] == 1
+
+    def test_missing_tuple_breaks_extension(self, schema):
+        relation = Relation(schema, [{"A": 1}, {"A": 2}])
+        smaller = Relation(schema, [{"A": 1}])
+        assert not smaller.extends(relation)
+        assert relation.extends(smaller)
+
+    def test_different_schema_never_extends(self, schema):
+        other = Relation(RelationSchema("S", ["A", "B"]))
+        assert not other.extends(Relation(schema))

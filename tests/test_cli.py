@@ -1,0 +1,207 @@
+"""Tests for the command-line interface."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import CliError, load_md_file, load_schema_spec, main
+from repro.datagen.generator import figure1_instances
+from repro.relations.csvio import save_relation
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    spec = {
+        "left": {
+            "name": "credit",
+            "attributes": ["c#", "SSN", "FN", "LN", "addr", "tel", "email",
+                           "gender", "type"],
+        },
+        "right": {
+            "name": "billing",
+            "attributes": ["c#", "FN", "LN", "post", "phn", "email",
+                           "gender", "item", "price"],
+        },
+        "target": {
+            "left": ["FN", "LN", "addr", "tel", "gender"],
+            "right": ["FN", "LN", "post", "phn", "gender"],
+        },
+    }
+    path = tmp_path / "schema.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+@pytest.fixture
+def md_file(tmp_path):
+    path = tmp_path / "mds.txt"
+    path.write_text(
+        "# Example 2.1\n"
+        "credit[LN] = billing[LN] & credit[addr] = billing[post] & "
+        "credit[FN] ~dl(0.8) billing[FN] -> "
+        "credit[FN] <=> billing[FN] & credit[LN] <=> billing[LN] & "
+        "credit[addr] <=> billing[post] & credit[tel] <=> billing[phn] & "
+        "credit[gender] <=> billing[gender]\n"
+        "credit[tel] = billing[phn] -> credit[addr] <=> billing[post]\n"
+        "credit[email] = billing[email] -> "
+        "credit[FN] <=> billing[FN] & credit[LN] <=> billing[LN]\n"
+    )
+    return path
+
+
+class TestSpecLoading:
+    def test_load_schema_spec(self, schema_file):
+        pair, target = load_schema_spec(schema_file)
+        assert pair.left.name == "credit"
+        assert len(target) == 5
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CliError, match="not found"):
+            load_schema_spec(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CliError, match="invalid JSON"):
+            load_schema_spec(path)
+
+    def test_missing_section(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"left": {"name": "a", "attributes": ["x"]}}))
+        with pytest.raises(CliError, match="right"):
+            load_schema_spec(path)
+
+    def test_load_md_file(self, schema_file, md_file):
+        pair, _ = load_schema_spec(schema_file)
+        assert len(load_md_file(md_file, pair)) == 3
+
+    def test_md_parse_error_reported(self, schema_file, tmp_path):
+        pair, _ = load_schema_spec(schema_file)
+        bad = tmp_path / "bad.txt"
+        bad.write_text("garbage -> nonsense\n")
+        with pytest.raises(CliError, match="cannot parse"):
+            load_md_file(bad, pair)
+
+
+class TestDeduce:
+    def test_deduce_prints_keys(self, schema_file, md_file, capsys):
+        code = main(
+            ["deduce", "--schema", str(schema_file), "--mds", str(md_file),
+             "-m", "6"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "RCK(s) relative to" in output
+        assert "email" in output  # rck3/rck4 mention email
+
+    def test_deduce_missing_schema(self, md_file, capsys):
+        code = main(["deduce", "--schema", "/nope.json", "--mds", str(md_file)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_deducible_md_exit_zero(self, schema_file, md_file, capsys):
+        code = main(
+            ["check", "--schema", str(schema_file), "--mds", str(md_file),
+             "credit[email] = billing[email] & credit[tel] = billing[phn] -> "
+             "credit[gender] <=> billing[gender]"]
+        )
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_non_deducible_md_exit_one(self, schema_file, md_file, capsys):
+        code = main(
+            ["check", "--schema", str(schema_file), "--mds", str(md_file),
+             "credit[email] = billing[email] -> credit[addr] <=> billing[post]"]
+        )
+        assert code == 1
+        assert "False" in capsys.readouterr().out
+
+    def test_bad_md_syntax(self, schema_file, md_file, capsys):
+        code = main(
+            ["check", "--schema", str(schema_file), "--mds", str(md_file),
+             "garbage"]
+        )
+        assert code == 2
+
+    def test_explain_prints_derivation(self, schema_file, md_file, capsys):
+        code = main(
+            ["check", "--schema", str(schema_file), "--mds", str(md_file),
+             "--explain",
+             "credit[email] = billing[email] & credit[tel] = billing[phn] -> "
+             "credit[gender] <=> billing[gender]"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Derivation:" in output
+        assert "[by MD:" in output
+
+    def test_explain_failure_report(self, schema_file, md_file, capsys):
+        code = main(
+            ["check", "--schema", str(schema_file), "--mds", str(md_file),
+             "--explain",
+             "credit[email] = billing[email] -> credit[addr] <=> billing[post]"]
+        )
+        assert code == 1
+        assert "No derivation" in capsys.readouterr().out
+
+
+class TestMatch:
+    def test_match_fig1(self, schema_file, md_file, tmp_path, capsys):
+        _, credit, billing = figure1_instances()
+        left_path = tmp_path / "credit.csv"
+        right_path = tmp_path / "billing.csv"
+        save_relation(credit, left_path)
+        save_relation(billing, right_path)
+        out_path = tmp_path / "matches.csv"
+        code = main(
+            ["match", "--schema", str(schema_file), "--mds", str(md_file),
+             "--left", str(left_path), "--right", str(right_path),
+             "-o", str(out_path), "--window", "10"]
+        )
+        assert code == 0
+        with out_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        matched = {(int(r["left_tid"]), int(r["right_tid"])) for r in rows}
+        # Windowed candidates catch t1 with several billing tuples.
+        assert matched
+        assert all(left == 0 for left, _ in matched)  # only t1 matches
+
+    def test_match_plain_csv_without_tids(self, schema_file, md_file, tmp_path):
+        left_path = tmp_path / "credit.csv"
+        left_path.write_text(
+            "FN,LN,addr,tel,email,gender\n"
+            "Mark,Clifford,10 Oak Street,908-1111111,mc@gm.com,M\n"
+        )
+        right_path = tmp_path / "billing.csv"
+        right_path.write_text(
+            "FN,LN,post,phn,email,gender\n"
+            "Marx,Clifford,10 Oak Street,908-1111111,mc@gm.com,M\n"
+        )
+        code = main(
+            ["match", "--schema", str(schema_file), "--mds", str(md_file),
+             "--left", str(left_path), "--right", str(right_path)]
+        )
+        assert code == 0
+
+    def test_match_unknown_column_rejected(self, schema_file, md_file, tmp_path, capsys):
+        left_path = tmp_path / "credit.csv"
+        left_path.write_text("WRONG\nx\n")
+        right_path = tmp_path / "billing.csv"
+        right_path.write_text("FN\nMarx\n")
+        code = main(
+            ["match", "--schema", str(schema_file), "--mds", str(md_file),
+             "--left", str(left_path), "--right", str(right_path)]
+        )
+        assert code == 2
+        assert "WRONG" in capsys.readouterr().err
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "Deduced RCKs" in output
+        assert "(0, 3)" in output  # t1 ~ t6

@@ -1,0 +1,50 @@
+"""Run the doctests embedded in the library's docstrings.
+
+Documentation examples must stay executable; this collects every module
+with doctests and fails on any drift between docs and behaviour.
+
+Modules are resolved by name through importlib because several package
+``__init__`` files re-export *functions* with the same name as their
+defining submodule (``repro.core.md.md``, ``repro.metrics.soundex.soundex``)
+— plain attribute access would hand doctest a function, not the module.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.core.closure",
+    "repro.core.findrcks",
+    "repro.core.md",
+    "repro.core.parser",
+    "repro.core.quality",
+    "repro.core.rck",
+    "repro.core.schema",
+    "repro.core.similarity",
+    "repro.datagen.generator",
+    "repro.datagen.mdgen",
+    "repro.matching.comparison",
+    "repro.matching.em",
+    "repro.matching.evaluate",
+    "repro.metrics.damerau_levenshtein",
+    "repro.metrics.jaccard",
+    "repro.metrics.jaro",
+    "repro.metrics.levenshtein",
+    "repro.metrics.qgrams",
+    "repro.metrics.registry",
+    "repro.metrics.soundex",
+    "repro.metrics.synonyms",
+    "repro.relations.index",
+    "repro.relations.relation",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )
