@@ -39,6 +39,10 @@ def matching_sizes():
     return (1000, 2000, 4000, 8000) if FULL else (500, 1000, 2000)
 
 
+def engine_stream_size():
+    return 2000 if FULL else 500
+
+
 @pytest.fixture(scope="session")
 def bench_sizes():
     return matching_sizes()

@@ -1,0 +1,107 @@
+"""BENCH — streaming engine throughput vs batch pipeline re-runs.
+
+Measures records/sec for incremental ingest of a duplicate-burst stream
+and compares the engine's total pair-comparison cost with what re-running
+the batch pipeline on every arrival would charge.  Results are printed as
+one JSON document per test (run with ``-s`` to see them), and appended to
+the file named by ``REPRO_BENCH_JSON`` when that variable is set — the
+seed of the engine benchmark trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datagen.generator import generate_dataset
+from repro.datagen.schemas import extended_mds
+from repro.datagen.streams import duplicate_burst_stream
+from repro.engine import IncrementalMatcher
+from repro.matching.blocking import multi_pass_block_pairs
+from repro.matching.pipeline import EnforcementMatcher
+
+from conftest import engine_stream_size
+
+
+def _emit(payload):
+    text = json.dumps(payload, sort_keys=True)
+    print()
+    print(text)
+    sink = os.environ.get("REPRO_BENCH_JSON")
+    if sink:
+        with Path(sink).open("a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(engine_stream_size(), seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return duplicate_burst_stream(dataset, seed=3)
+
+
+def test_streaming_ingest_throughput(benchmark, dataset, workload):
+    """Records/sec for one full duplicate-burst stream, cold start."""
+    sigma = extended_mds(dataset.pair)
+
+    def run():
+        matcher = IncrementalMatcher(sigma, dataset.target, top_k=5)
+        matcher.ingest_stream(workload.events)
+        return matcher
+
+    matcher = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    seconds = benchmark.stats.stats.mean
+    _emit({
+        "benchmark": "engine_streaming_ingest",
+        "scenario": workload.scenario,
+        "records": len(workload.events),
+        "seconds_per_stream": seconds,
+        "records_per_sec": len(workload.events) / seconds,
+        "comparisons": matcher.store.comparisons,
+        "matched_clusters": len(matcher.store.clusters()),
+    })
+    assert matcher.store.clusters()
+
+
+def test_streaming_vs_batch_rerun_cost(benchmark, dataset, workload):
+    """One batch pipeline run, and the comparison-count ledger.
+
+    Serving the stream by re-running the batch pipeline after every
+    arrival costs ~len(events) × (one batch run); the engine's whole
+    stream must cost a small multiple of ONE batch run.
+    """
+    sigma = extended_mds(dataset.pair)
+    matcher = IncrementalMatcher(sigma, dataset.target, top_k=5)
+    matcher.ingest_stream(workload.events)
+    keys = [(index.left_key, index.right_key) for index in matcher.store.indexes]
+    batch = EnforcementMatcher(sigma, dataset.target)
+
+    def batch_run():
+        candidates = multi_pass_block_pairs(
+            dataset.credit, dataset.billing, keys
+        )
+        return batch.match(
+            dataset.credit, dataset.billing, candidates=candidates
+        )
+
+    result = benchmark.pedantic(
+        batch_run, rounds=3, iterations=1, warmup_rounds=0
+    )
+    batch_candidates = len(result.candidates)
+    rerun_cost = len(workload.events) * batch_candidates
+    _emit({
+        "benchmark": "engine_vs_batch_rerun",
+        "records": len(workload.events),
+        "batch_seconds_per_run": benchmark.stats.stats.mean,
+        "batch_candidates": batch_candidates,
+        "stream_comparisons": matcher.store.comparisons,
+        "batch_rerun_comparisons": rerun_cost,
+        "saving_factor": rerun_cost / max(matcher.store.comparisons, 1),
+    })
+    assert matcher.store.comparisons * 10 < rerun_cost

@@ -2,15 +2,15 @@
 
 Kept so that ``pip install -e .`` works in offline environments without the
 ``wheel`` package (pip then uses the classic ``setup.py develop`` code
-path).  All metadata lives in pyproject.toml.
+path).  All metadata (name, version, python-requires) lives in
+pyproject.toml; only the src-layout package discovery is repeated here so
+that installs remain importable even under setuptools older than 61,
+which cannot read the ``[project]`` table.
 """
 
 from setuptools import find_packages, setup
 
 setup(
-    name="repro",
-    version="1.0.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.10",
 )

@@ -11,8 +11,12 @@ The library implements the paper's full stack:
 * :mod:`repro.relations` — the in-memory relational substrate;
 * :mod:`repro.matching` — Fellegi–Sunter (with EM), Sorted Neighborhood,
   blocking, windowing, and evaluation metrics;
+* :mod:`repro.engine` — the incremental streaming entity-resolution
+  engine: per-RCK inverted indexes, identity clusters maintained on every
+  ingest, batch bootstrap, and snapshot/restore;
 * :mod:`repro.datagen` — the paper's schemas and MDs, synthetic
-  credit/billing datasets with ground truth, and random MD workloads;
+  credit/billing datasets with ground truth, random MD workloads, and
+  streaming arrival scenarios;
 * :mod:`repro.experiments` — one module per figure of Section 6.
 
 Quickstart::

@@ -6,7 +6,11 @@ without writing Python:
 * ``deduce``  — read a schema spec and an MD file, print quality RCKs;
 * ``check``   — decide Σ ⊨m φ for an MD given on the command line;
 * ``match``   — match two CSV files with deduced RCKs, write match pairs;
-* ``demo``    — run the paper's Fig. 1 example end to end.
+* ``demo``    — run the paper's Fig. 1 example end to end;
+* ``engine``  — the incremental streaming engine (:mod:`repro.engine`):
+  ``engine ingest`` streams CSV records into a persistent match store,
+  ``engine stats`` reports its counters, ``engine query`` prints the
+  identity cluster of a record.
 
 The schema spec is JSON::
 
@@ -166,6 +170,121 @@ def cmd_match(args) -> int:
     return 0
 
 
+def _load_engine_store(path: Path):
+    from repro.engine import load_store
+
+    if not path.exists():
+        raise CliError(f"store snapshot not found: {path}")
+    try:
+        return load_store(path)
+    except (ValueError, KeyError, TypeError) as error:
+        raise CliError(f"cannot read store {path}: {error}") from None
+
+
+def cmd_engine_ingest(args) -> int:
+    from repro.core.schema import LEFT, RIGHT
+    from repro.engine import IncrementalMatcher, save_store
+
+    pair, target = load_schema_spec(Path(args.schema))
+    sigma = load_md_file(Path(args.mds), pair)
+    store_path = Path(args.store)
+    store = None
+    if store_path.exists():
+        store = _load_engine_store(store_path)
+    try:
+        matcher = IncrementalMatcher(sigma, target, top_k=args.top_k, store=store)
+    except ValueError as error:
+        # Covers e.g. a store snapshot built for a different schema/target.
+        raise CliError(f"{store_path}: {error}") from None
+    merges_before = matcher.store.merges
+    ingested = 0
+    for side, schema, data_path in (
+        (LEFT, pair.left, args.left),
+        (RIGHT, pair.right, args.right),
+    ):
+        if data_path is None:
+            continue
+        relation = _load_csv_relation(schema, Path(data_path))
+        for row in relation:
+            matcher.ingest(side, row.values())
+            ingested += 1
+    save_store(matcher.store, store_path)
+    stats = matcher.store.stats()
+    stats["ingested"] = ingested
+    stats["new_merges"] = matcher.store.merges - merges_before
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+    else:
+        print(
+            f"# ingested {ingested} record(s) into {store_path} "
+            f"({stats['new_merges']} new merge(s))"
+        )
+        print(
+            f"# store: {stats['left_rows']}+{stats['right_rows']} rows, "
+            f"{stats['matched_clusters']} matched cluster(s), "
+            f"{stats['comparisons']} comparison(s) so far"
+        )
+    return 0
+
+
+def cmd_engine_stats(args) -> int:
+    store = _load_engine_store(Path(args.store))
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+        return 0
+    print(f"# store {args.store}")
+    for key in (
+        "left_rows", "right_rows", "matched_clusters",
+        "largest_cluster", "comparisons", "merges",
+    ):
+        print(f"{key}: {stats[key]}")
+    for name, index_stats in stats["indexes"].items():
+        print(
+            f"index {name}: {index_stats['buckets']} bucket(s), "
+            f"largest {index_stats['largest_bucket']}"
+        )
+    return 0
+
+
+def cmd_engine_query(args) -> int:
+    from repro.core.schema import LEFT, RIGHT
+
+    store = _load_engine_store(Path(args.store))
+    side = LEFT if args.side == "left" else RIGHT
+    relation = store.relation(side)
+    if args.tid not in relation:
+        raise CliError(
+            f"no {args.side} record with tid {args.tid} in {args.store}"
+        )
+    cluster = store.cluster_of(side, args.tid)
+    if args.json:
+        print(json.dumps({
+            "side": args.side,
+            "tid": args.tid,
+            "left_tids": sorted(cluster.left_tids),
+            "right_tids": sorted(cluster.right_tids),
+        }, sort_keys=True))
+        return 0
+    print(
+        f"# cluster of {args.side} tid {args.tid}: "
+        f"{cluster.size} record(s)"
+    )
+    for member_side, name, tids in (
+        (LEFT, store.pair.left.name, sorted(cluster.left_tids)),
+        (RIGHT, store.pair.right.name, sorted(cluster.right_tids)),
+    ):
+        member_relation = store.relation(member_side)
+        for tid in tids:
+            values = member_relation[tid].values()
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in values.items()
+                if value is not None
+            )
+            print(f"{name}[{tid}]: {rendered}")
+    return 0
+
+
 def cmd_demo(args) -> int:
     from repro.datagen.generator import figure1_instances
     from repro.datagen.schemas import paper_mds, paper_target
@@ -223,6 +342,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the Fig. 1 example")
     demo.set_defaults(func=cmd_demo)
+
+    engine = sub.add_parser(
+        "engine", help="incremental streaming entity-resolution engine"
+    )
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+
+    ingest = engine_sub.add_parser(
+        "ingest", help="stream CSV records into a persistent match store"
+    )
+    ingest.add_argument("--schema", required=True, help="schema spec JSON")
+    ingest.add_argument("--mds", required=True, help="MD file (one per line)")
+    ingest.add_argument(
+        "--store", required=True,
+        help="store snapshot path (created when missing, updated in place)",
+    )
+    ingest.add_argument("--left", help="left relation CSV to ingest")
+    ingest.add_argument("--right", help="right relation CSV to ingest")
+    ingest.add_argument("--top-k", type=int, default=5, help="RCKs to use")
+    ingest.add_argument(
+        "--json", action="store_true", help="print stats as JSON"
+    )
+    ingest.set_defaults(func=cmd_engine_ingest)
+
+    stats = engine_sub.add_parser("stats", help="report store counters")
+    stats.add_argument("--store", required=True, help="store snapshot path")
+    stats.add_argument(
+        "--json", action="store_true", help="print stats as JSON"
+    )
+    stats.set_defaults(func=cmd_engine_stats)
+
+    query = engine_sub.add_parser(
+        "query", help="print the identity cluster of a record"
+    )
+    query.add_argument("--store", required=True, help="store snapshot path")
+    query.add_argument(
+        "--side", required=True, choices=("left", "right"),
+        help="which relation the record belongs to",
+    )
+    query.add_argument("--tid", required=True, type=int, help="tuple id")
+    query.add_argument(
+        "--json", action="store_true", help="print the cluster as JSON"
+    )
+    query.set_defaults(func=cmd_engine_query)
     return parser
 
 

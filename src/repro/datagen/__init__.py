@@ -16,6 +16,13 @@ from .schemas import (
     paper_mds,
     paper_target,
 )
+from .streams import (
+    StreamEvent,
+    StreamWorkload,
+    arrival_stream,
+    duplicate_burst_stream,
+    late_duplicate_stream,
+)
 
 __all__ = [
     "DEFAULT_MIX",
@@ -23,7 +30,12 @@ __all__ = [
     "GeneratedWorkload",
     "MatchingDataset",
     "NoiseModel",
+    "StreamEvent",
+    "StreamWorkload",
+    "arrival_stream",
     "credit_billing_pair",
+    "duplicate_burst_stream",
+    "late_duplicate_stream",
     "extended_mds",
     "extended_pair",
     "extended_target",

@@ -1,0 +1,139 @@
+"""Streaming workloads: datasets replayed as ordered arrival sequences.
+
+The batch generator (:mod:`repro.datagen.generator`) produces instance
+pairs; a streaming engine additionally cares about *arrival order* — when
+a record's duplicates show up relative to it decides how much cluster
+state an incremental matcher must revise.  This module turns a
+:class:`~repro.datagen.generator.MatchingDataset` into a
+:class:`StreamWorkload`: the same rows (same tuple ids, so results stay
+comparable with batch runs on the dataset) emitted as a sequence of
+:class:`StreamEvent`, in one of three scenarios:
+
+* :func:`arrival_stream` — uniform random interleaving of both relations,
+  the steady-state traffic shape;
+* :func:`duplicate_burst_stream` — each entity's records arrive
+  back-to-back (the credit record, then all its billing duplicates), as
+  when an upstream system flushes per-account batches;
+* :func:`late_duplicate_stream` — every entity is seen once first, and all
+  remaining duplicates arrive at the end — the adversarial case for
+  engines that finalize clusters too early.
+
+All scenarios are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.schema import LEFT, RIGHT, ComparableLists, SchemaPair
+
+from .generator import MatchingDataset
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One arriving record.
+
+    ``tid`` is the record's tuple id in the source dataset, so replaying
+    the stream with preserved ids yields clusters directly comparable to a
+    batch run; ``entity`` is the generator-held ground truth.
+    """
+
+    side: int
+    tid: int
+    values: Dict[str, object]
+    entity: int
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """An ordered arrival sequence over a generated dataset."""
+
+    pair: SchemaPair
+    target: ComparableLists
+    scenario: str
+    events: Tuple[StreamEvent, ...]
+    true_matches: FrozenSet[Tuple[int, int]]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> Tuple[int, int]:
+        """(left events, right events)."""
+        left = sum(1 for event in self.events if event.side == LEFT)
+        return left, len(self.events) - left
+
+
+def _credit_events(dataset: MatchingDataset) -> List[StreamEvent]:
+    return [
+        StreamEvent(LEFT, row.tid, row.values(), dataset.credit_entity[row.tid])
+        for row in dataset.credit
+    ]
+
+
+def _billing_events(dataset: MatchingDataset) -> List[StreamEvent]:
+    return [
+        StreamEvent(RIGHT, row.tid, row.values(), dataset.billing_entity[row.tid])
+        for row in dataset.billing
+    ]
+
+
+def _workload(
+    dataset: MatchingDataset, scenario: str, events: List[StreamEvent]
+) -> StreamWorkload:
+    return StreamWorkload(
+        pair=dataset.pair,
+        target=dataset.target,
+        scenario=scenario,
+        events=tuple(events),
+        true_matches=dataset.true_matches,
+    )
+
+
+def arrival_stream(dataset: MatchingDataset, seed: int = 0) -> StreamWorkload:
+    """Uniform random interleaving of credit and billing records."""
+    events = _credit_events(dataset) + _billing_events(dataset)
+    random.Random(seed).shuffle(events)
+    return _workload(dataset, "arrival", events)
+
+
+def duplicate_burst_stream(dataset: MatchingDataset, seed: int = 0) -> StreamWorkload:
+    """Per-entity bursts: a credit record, then all its billing duplicates.
+
+    Entity order is shuffled; within a burst the billing duplicates keep
+    insertion order, so every burst replays one account's history.
+    """
+    by_entity: Dict[int, List[StreamEvent]] = {}
+    for event in _credit_events(dataset):
+        by_entity.setdefault(event.entity, []).append(event)
+    for event in _billing_events(dataset):
+        by_entity.setdefault(event.entity, []).append(event)
+    entities = sorted(by_entity)
+    random.Random(seed).shuffle(entities)
+    events = [event for entity in entities for event in by_entity[entity]]
+    return _workload(dataset, "duplicate-burst", events)
+
+
+def late_duplicate_stream(dataset: MatchingDataset, seed: int = 0) -> StreamWorkload:
+    """Each entity once up front; every remaining duplicate at the end.
+
+    The head contains all credit records and the first billing record of
+    each entity (shuffled); the tail holds the other billing duplicates
+    (shuffled separately).  Clusters formed on the head must absorb the
+    late arrivals without any re-scan.
+    """
+    rng = random.Random(seed)
+    head = _credit_events(dataset)
+    seen: set = set()
+    tail: List[StreamEvent] = []
+    for event in _billing_events(dataset):
+        if event.entity in seen:
+            tail.append(event)
+        else:
+            seen.add(event.entity)
+            head.append(event)
+    rng.shuffle(head)
+    rng.shuffle(tail)
+    return _workload(dataset, "late-duplicate", head + tail)

@@ -1,0 +1,53 @@
+"""Incremental streaming entity-resolution engine.
+
+Where :mod:`repro.matching` re-runs blocking, comparison and enforcement
+from scratch on each batch, this subsystem matches records *as they
+arrive*:
+
+* :class:`~repro.engine.store.MatchStore` — the warm state: ingested
+  records, one inverted index per deduced RCK, an incremental union-find
+  over record identities, and cost counters;
+* :class:`~repro.engine.matcher.IncrementalMatcher` — per-record ingest
+  that probes only the affected index buckets and chases MDs on the delta;
+* :mod:`~repro.engine.snapshot` — save/restore the store to disk so
+  ingestion resumes exactly where it stopped;
+* ``repro engine ingest|stats|query`` — the CLI surface (:mod:`repro.cli`).
+
+Typical use::
+
+    from repro.core.schema import RIGHT
+    from repro.engine import IncrementalMatcher
+
+    matcher = IncrementalMatcher(sigma, target, top_k=5)
+    matcher.bootstrap(credit, billing)          # warm-start from batch data
+    result = matcher.ingest(RIGHT, new_record)  # then stream
+    print(matcher.store.cluster_of(result.side, result.tid))
+"""
+
+from .indexes import DEFAULT_ENCODED_ATTRIBUTES, RCKIndex, indexes_from_rcks
+from .matcher import BootstrapResult, IncrementalMatcher, IngestResult
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    load_store,
+    save_store,
+    store_from_dict,
+    store_to_dict,
+)
+from .store import MatchStore, Node, node_of
+
+__all__ = [
+    "BootstrapResult",
+    "DEFAULT_ENCODED_ATTRIBUTES",
+    "IncrementalMatcher",
+    "IngestResult",
+    "MatchStore",
+    "Node",
+    "RCKIndex",
+    "SNAPSHOT_VERSION",
+    "indexes_from_rcks",
+    "load_store",
+    "node_of",
+    "save_store",
+    "store_from_dict",
+    "store_to_dict",
+]

@@ -1,0 +1,376 @@
+"""Incremental entity resolution: match records as they arrive.
+
+The batch pipelines (:mod:`repro.matching.pipeline`) re-block, re-compare
+and re-enforce the full instance on every run.  The
+:class:`IncrementalMatcher` instead keeps a warm :class:`~repro.engine.store.MatchStore`
+and, for each arriving record:
+
+1. inserts and indexes it (:meth:`~repro.engine.store.MatchStore.add`);
+2. probes only the affected index buckets for the candidate neighborhood;
+3. runs MD enforcement (:func:`repro.core.semantics.enforce`) on a *local
+   sub-instance* containing just the new record and its neighbors — the
+   delta — never copying or rescanning the full instance;
+4. reads match decisions off the identified target cells, merges identity
+   clusters, and re-resolves each grown cluster's target values to the
+   member consensus, so later arrivals compare against the cleaned
+   records (the dynamic semantics accumulating over the stream).
+
+Per-ingest work is therefore proportional to the record's bucket
+neighborhood, which is what makes streaming ingest sublinear in the store
+size (asserted by ``tests/engine/test_equivalence.py`` via the store's
+comparison counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.findrcks import find_rcks
+from repro.core.md import MatchingDependency
+from repro.core.schema import LEFT, RIGHT, ComparableLists
+from repro.core.semantics import (
+    InstancePair,
+    ValueResolver,
+    enforce,
+    prefer_informative,
+)
+from repro.matching.blocking import multi_pass_block_pairs
+from repro.matching.evaluate import Pair
+from repro.matching.windowing import rck_sort_keys, window_pairs
+from repro.relations.relation import Relation
+from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+
+from .indexes import DEFAULT_ENCODED_ATTRIBUTES
+from .store import MatchStore, Node, node_of
+
+_SIDES = {"L": LEFT, "R": RIGHT}
+
+
+def _side_tid(node: Node) -> Tuple[int, int]:
+    tag, tid = node
+    return _SIDES[tag], tid
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of ingesting one record.
+
+    Attributes
+    ----------
+    side, tid:
+        Where the record landed in the store.
+    candidates:
+        The delta pairs actually compared (new record × neighborhood).
+    matches:
+        The subset declared matches by enforcement.
+    merged:
+        Whether any cluster merge happened (False for re-ingested
+        duplicates that were already in the right cluster).
+    cascade_truncated:
+        True when the repair cascade hit ``max_cascade`` and left some
+        repaired records' neighborhoods unexamined (never on clean data).
+    """
+
+    side: int
+    tid: int
+    candidates: Tuple[Pair, ...]
+    matches: Tuple[Pair, ...]
+    merged: bool
+    cascade_truncated: bool = False
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of warm-starting a store from batch relations."""
+
+    left_rows: int
+    right_rows: int
+    candidates: int
+    matches: int
+
+
+class IncrementalMatcher:
+    """Streaming counterpart of :class:`~repro.matching.pipeline.EnforcementMatcher`.
+
+    Matching decisions use the same machinery as the batch matcher — RCK
+    deduction for candidate generation and the enforcement chase for
+    decisions — so a stream ingested record-by-record converges to the
+    clusters the batch matcher finds on the same data with the same
+    candidate keys.
+
+    >>> # matcher = IncrementalMatcher(sigma, target, top_k=5)
+    >>> # matcher.ingest(RIGHT, {"FN": "Mark", ...})
+    """
+
+    def __init__(
+        self,
+        sigma: Sequence[MatchingDependency],
+        target: ComparableLists,
+        top_k: int = 5,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+        resolver: ValueResolver = prefer_informative,
+        store: Optional[MatchStore] = None,
+        key_length: int = 1,
+        encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+        max_cascade: int = 256,
+    ) -> None:
+        if not sigma:
+            raise ValueError("need at least one MD")
+        self.sigma = list(sigma)
+        self.target = target
+        self.registry = registry
+        self.resolver = resolver
+        self.max_cascade = max_cascade
+        if store is None:
+            rcks = find_rcks(self.sigma, target, m=top_k)
+            store = MatchStore(target, rcks, key_length, encode_attributes)
+        elif store.target != target:
+            raise ValueError("store was built for a different target")
+        self.store = store
+        self._target_pairs = target.attribute_pairs()
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self, side: int, values: Dict[str, object], tid: Optional[int] = None
+    ) -> IngestResult:
+        """Ingest one record: index, probe, enforce on the delta, merge.
+
+        When a merge changes a cluster's consensus values (see
+        :meth:`_resolve_cluster`), every repaired record's neighborhood is
+        re-enforced — the streaming counterpart of the batch chase
+        re-scanning its candidate pairs after a round of updates.  The
+        cascade stops immediately when no merge repairs anything (the
+        common, clean-data case); ``max_cascade`` bounds the number of
+        record re-enforcements per ingest as a safety valve, and hitting
+        it is reported via :attr:`IngestResult.cascade_truncated`.
+        """
+        store = self.store
+        tid = store.add(side, values, tid=tid)
+        all_pairs: List[Pair] = []
+        all_matches: List[Pair] = []
+        merged = False
+        queue: List[Tuple[int, int]] = [(side, tid)]
+        queued = {(side, tid)}
+        rounds = 0
+        while queue and rounds < self.max_cascade:
+            rounds += 1
+            round_side, round_tid = queue.pop(0)
+            queued.discard((round_side, round_tid))
+            # Probe with arrival values: the buckets were keyed on them.
+            row = store.arrival_row(round_side, round_tid)
+            other_tids = store.neighbors(round_side, row)
+            if round_side == LEFT:
+                pairs: List[Pair] = [(round_tid, other) for other in other_tids]
+            else:
+                pairs = [(other, round_tid) for other in other_tids]
+            store.comparisons += len(pairs)
+            if not pairs:
+                continue
+            all_pairs.extend(pairs)
+            touched: List[Node] = []
+            for match in self._match_pairs(pairs):
+                if match not in all_matches:
+                    all_matches.append(match)
+                left_tid, right_tid = match
+                left_node = node_of(LEFT, left_tid)
+                if store.union(left_node, node_of(RIGHT, right_tid)):
+                    merged = True
+                    touched.append(left_node)
+            for root in {store.find(node) for node in touched}:
+                for changed_record in self._resolve_cluster(root):
+                    if changed_record not in queued:
+                        queue.append(changed_record)
+                        queued.add(changed_record)
+        return IngestResult(
+            side,
+            tid,
+            tuple(all_pairs),
+            tuple(all_matches),
+            merged,
+            cascade_truncated=bool(queue),
+        )
+
+    def ingest_stream(self, events: Iterable) -> List[IngestResult]:
+        """Ingest a sequence of events in arrival order.
+
+        Events are ``(side, values)`` tuples or objects with ``side``,
+        ``values`` and (optionally) ``tid`` attributes, such as
+        :class:`repro.datagen.streams.StreamEvent`.
+        """
+        results: List[IngestResult] = []
+        for event in events:
+            if isinstance(event, tuple):
+                side, values = event
+                tid = None
+            else:
+                side, values = event.side, dict(event.values)
+                tid = getattr(event, "tid", None)
+            results.append(self.ingest(side, values, tid=tid))
+        return results
+
+    # ------------------------------------------------------------------
+    # Batch warm-start
+    # ------------------------------------------------------------------
+
+    def bootstrap(
+        self,
+        left: Relation,
+        right: Relation,
+        preserve_tids: bool = True,
+        window: Optional[int] = None,
+    ) -> BootstrapResult:
+        """Warm-start an empty store from existing batch relations.
+
+        Candidate generation reuses the batch blocking code
+        (:func:`~repro.matching.blocking.multi_pass_block_pairs`) over the
+        same keys the store's indexes maintain, optionally unioned with a
+        sorted-neighborhood pass of the given ``window`` — then a single
+        enforcement chase matches the candidates and seeds the clusters.
+        """
+        store = self.store
+        if len(store.left) or len(store.right):
+            raise ValueError("bootstrap requires an empty store")
+        for row in left.rows():
+            store.add(LEFT, row.values(), tid=row.tid if preserve_tids else None)
+        for row in right.rows():
+            store.add(RIGHT, row.values(), tid=row.tid if preserve_tids else None)
+        keys = [(index.left_key, index.right_key) for index in store.indexes]
+        pairs = set(multi_pass_block_pairs(store.left, store.right, keys))
+        if window is not None:
+            left_key, right_key = rck_sort_keys(store.rcks)
+            pairs.update(
+                window_pairs(store.left, store.right, left_key, right_key, window)
+            )
+        ordered = sorted(pairs)
+        store.comparisons += len(ordered)
+        matches = self._match_pairs(ordered) if ordered else []
+        touched: List[Node] = []
+        for left_tid, right_tid in matches:
+            left_node = node_of(LEFT, left_tid)
+            if store.union(left_node, node_of(RIGHT, right_tid)):
+                touched.append(left_node)
+        for root in {store.find(node) for node in touched}:
+            self._resolve_cluster(root)
+        return BootstrapResult(
+            left_rows=len(store.left),
+            right_rows=len(store.right),
+            candidates=len(ordered),
+            matches=len(matches),
+        )
+
+    # ------------------------------------------------------------------
+    # Delta enforcement
+    # ------------------------------------------------------------------
+
+    def _match_pairs(self, pairs: Sequence[Pair]) -> List[Pair]:
+        """Decide the delta pairs by local enforcement; no store side effects.
+
+        Every pair is chased over the involved records' *arrival* values —
+        the batch chase evaluates every candidate pair on pristine values
+        in its first round, and this keeps that guarantee under streaming
+        (a consensus repair can never destroy evidence two records arrived
+        with).  When some involved record's current values differ from its
+        arrivals (a consensus repaired it), a second chase over the
+        current values adds the matches that only repairs enable — the
+        streaming analogue of the batch chase's later rounds.
+        """
+        matches = self._chase(pairs, use_arrival=True)
+        store = self.store
+        repaired = any(
+            store.relation(side)[tid].values() != store.arrival_values(side, tid)
+            for side, tids in (
+                (LEFT, {left_tid for left_tid, _ in pairs}),
+                (RIGHT, {right_tid for _, right_tid in pairs}),
+            )
+            for tid in tids
+        )
+        if repaired:
+            for match in self._chase(pairs, use_arrival=False):
+                if match not in matches:
+                    matches.append(match)
+        return matches
+
+    def _chase(self, pairs: Sequence[Pair], use_arrival: bool) -> List[Pair]:
+        """One enforcement chase over a local sub-instance of the delta.
+
+        The sub-instance holds only the tuples occurring in ``pairs`` (ids
+        preserved), so the chase never copies or rescans the full store —
+        its cost is bounded by the delta.  A pair matches when the chase
+        identified all target cells, exactly the batch matcher's decision
+        rule.
+        """
+        store = self.store
+        involved_left = sorted({left_tid for left_tid, _ in pairs})
+        involved_right = sorted({right_tid for _, right_tid in pairs})
+        local_left = Relation(store.pair.left)
+        local_right = Relation(store.pair.right)
+        for local, stored, side, tids in (
+            (local_left, store.left, LEFT, involved_left),
+            (local_right, store.right, RIGHT, involved_right),
+        ):
+            for tid in tids:
+                values = (
+                    store.arrival_values(side, tid)
+                    if use_arrival
+                    else stored[tid].values()
+                )
+                local.insert(values, tid=tid)
+        instance = InstancePair(store.pair, local_left, local_right)
+        result = enforce(
+            instance,
+            self.sigma,
+            registry=self.registry,
+            resolver=self.resolver,
+            candidate_pairs=list(pairs),
+        )
+        return [
+            (left_tid, right_tid)
+            for left_tid, right_tid in pairs
+            if result.identified(left_tid, right_tid, self._target_pairs)
+        ]
+
+    def _resolve_cluster(self, node: Node) -> List[Tuple[int, int]]:
+        """Re-resolve a cluster's target values to the member consensus.
+
+        For every identified attribute pair, the resolver picks one value
+        from the *arrival* values of all cluster members, and that
+        consensus becomes every member's current value — the streaming
+        analogue of the batch chase resolving each merged cell class.
+        Resolving from arrival values keeps the outcome independent of
+        arrival order (the same member multiset always yields the same
+        consensus, where chaining pairwise repairs would not).
+
+        Returns the ``(side, tid)`` records whose current values changed —
+        their neighborhoods must be re-examined by the caller.
+        """
+        store = self.store
+        members = store.cluster_nodes(*_side_tid(node))
+        if len(members) < 2:
+            return []
+        lefts = sorted(tid for tag, tid in members if tag == "L")
+        rights = sorted(tid for tag, tid in members if tag == "R")
+        changed: List[Tuple[int, int]] = []
+        changed_seen = set()
+        for left_attr, right_attr in self._target_pairs:
+            values = [
+                store.arrival_values(LEFT, tid)[left_attr] for tid in lefts
+            ] + [
+                store.arrival_values(RIGHT, tid)[right_attr] for tid in rights
+            ]
+            resolved = self.resolver(values)
+            for side, tids, attribute in (
+                (LEFT, lefts, left_attr),
+                (RIGHT, rights, right_attr),
+            ):
+                relation = store.relation(side)
+                for tid in tids:
+                    if relation[tid][attribute] != resolved:
+                        relation.set_value(tid, attribute, resolved)
+                        if (side, tid) not in changed_seen:
+                            changed_seen.add((side, tid))
+                            changed.append((side, tid))
+        return changed

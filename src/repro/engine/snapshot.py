@@ -1,0 +1,141 @@
+"""Snapshot a :class:`~repro.engine.store.MatchStore` to disk and back.
+
+A snapshot is one JSON document holding everything needed to resume
+ingestion cold: the schema pair, the target lists, the deduced RCKs (as
+operator triples), every stored row with its tuple id, the identity
+clusters, and the cost counters.  Inverted indexes are *not* serialized —
+they are a pure function of the rows and RCKs, so restore rebuilds them by
+re-adding every row, which also guarantees a restored store probes exactly
+like the original.
+
+Restore → ingest is equivalent to a cold run over the full sequence
+(asserted by ``tests/engine/test_snapshot.py``): rows are saved with both
+their *arrival* values (what the indexes and consensus resolution work
+from) and their *current* values (the per-cluster consensus repairs), so
+the resumed engine sees the same state a never-interrupted one would.
+
+Values must be JSON-serializable (strings and ``None`` in all shipped
+datasets).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+from repro.core.rck import RelativeKey
+from repro.core.schema import LEFT, RIGHT, ComparableLists, RelationSchema, SchemaPair
+
+from .store import MatchStore
+
+#: Current snapshot format version.
+SNAPSHOT_VERSION = 1
+
+
+def store_to_dict(store: MatchStore) -> Dict[str, object]:
+    """The store as a JSON-serializable dictionary."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "schema": {
+            "left": {
+                "name": store.pair.left.name,
+                "attributes": list(store.pair.left.attribute_names),
+            },
+            "right": {
+                "name": store.pair.right.name,
+                "attributes": list(store.pair.right.attribute_names),
+            },
+        },
+        "target": {
+            "left": list(store.target.left_list),
+            "right": list(store.target.right_list),
+        },
+        "rcks": [
+            [[atom.left, atom.right, atom.operator.name] for atom in key.atoms]
+            for key in store.rcks
+        ],
+        "key_length": store.key_length,
+        "encode_attributes": list(store.encode_attributes),
+        "rows": {
+            "left": [
+                [row.tid, store.arrival_values(LEFT, row.tid), row.values()]
+                for row in store.left
+            ],
+            "right": [
+                [row.tid, store.arrival_values(RIGHT, row.tid), row.values()]
+                for row in store.right
+            ],
+        },
+        "clusters": [
+            [["L", tid] for tid in sorted(cluster.left_tids)]
+            + [["R", tid] for tid in sorted(cluster.right_tids)]
+            for cluster in store.clusters()
+        ],
+        "counters": {
+            "comparisons": store.comparisons,
+            "merges": store.merges,
+        },
+    }
+
+
+def store_from_dict(data: Dict[str, object]) -> MatchStore:
+    """Rebuild a store from :func:`store_to_dict` output."""
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    schema = data["schema"]
+    pair = SchemaPair(
+        RelationSchema(schema["left"]["name"], schema["left"]["attributes"]),
+        RelationSchema(schema["right"]["name"], schema["right"]["attributes"]),
+    )
+    target = ComparableLists(pair, data["target"]["left"], data["target"]["right"])
+    rcks = [
+        RelativeKey.from_triples(target, [tuple(triple) for triple in triples])
+        for triples in data["rcks"]
+    ]
+    store = MatchStore(
+        target,
+        rcks,
+        key_length=int(data["key_length"]),
+        encode_attributes=tuple(data["encode_attributes"]),
+    )
+    for side_name, side in (("left", LEFT), ("right", RIGHT)):
+        relation = store.relation(side)
+        for tid, arrival, current in data["rows"][side_name]:
+            tid = store.add(side, arrival, tid=int(tid))
+            for attribute, value in current.items():
+                if relation[tid][attribute] != value:
+                    relation.set_value(tid, attribute, value)
+    for members in data["clusters"]:
+        nodes = [(tag, int(tid)) for tag, tid in members]
+        first = nodes[0]
+        for node in nodes[1:]:
+            store.union(first, node)
+    counters = data["counters"]
+    store.comparisons = int(counters["comparisons"])
+    store.merges = int(counters["merges"])
+    return store
+
+
+def save_store(store: MatchStore, path) -> None:
+    """Write the store snapshot as JSON to ``path``, atomically.
+
+    The document is written to a sibling temp file and renamed into
+    place, so a crash mid-write never destroys the previous snapshot —
+    the store is the engine's only persistent state.
+    """
+    path = Path(path)
+    payload = json.dumps(store_to_dict(store), indent=1, sort_keys=True)
+    scratch = path.with_name(path.name + ".tmp")
+    scratch.write_text(payload, encoding="utf-8")
+    os.replace(scratch, path)
+
+
+def load_store(path) -> MatchStore:
+    """Read a snapshot written by :func:`save_store`."""
+    return store_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

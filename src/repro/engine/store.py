@@ -1,0 +1,234 @@
+"""The engine's persistent state: records, indexes, identity clusters.
+
+A :class:`MatchStore` is everything the incremental matcher needs to keep
+between arrivals:
+
+* the ingested records themselves, one :class:`~repro.relations.relation.Relation`
+  per side of the schema pair;
+* one inverted index per deduced RCK (:mod:`repro.engine.indexes`),
+  updated on every :meth:`MatchStore.add`;
+* an incremental union-find over record identities — the entity clusters
+  that pairwise match decisions are folded into as they are made (the
+  streaming counterpart of :func:`repro.matching.clustering.cluster_matches`);
+* counters (``comparisons``, ``merges``) so the cost of incremental
+  matching is measurable against batch re-runs.
+
+The store deliberately knows nothing about MDs or enforcement; that logic
+lives in :class:`repro.engine.matcher.IncrementalMatcher`.  Keeping state
+and policy separate is what lets the store be snapshotted to disk and
+warmed back up (:mod:`repro.engine.snapshot`) without re-matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.rck import RelativeKey
+from repro.core.schema import LEFT, RIGHT, ComparableLists
+from repro.matching.clustering import Cluster
+from repro.relations.relation import Relation, Row
+
+from .indexes import DEFAULT_ENCODED_ATTRIBUTES, RCKIndex, indexes_from_rcks
+
+#: A clustered record identity: ("L" | "R", tuple id) — the same node
+#: convention as :mod:`repro.matching.clustering`.
+Node = Tuple[str, int]
+
+_SIDE_TAGS = {LEFT: "L", RIGHT: "R"}
+
+
+def node_of(side: int, tid: int) -> Node:
+    """The cluster node of a record given its side and tuple id."""
+    return (_SIDE_TAGS[side], tid)
+
+
+class MatchStore:
+    """Incrementally maintained records + indexes + identity clusters.
+
+    >>> from repro.datagen.schemas import credit_billing_pair, paper_mds, paper_target
+    >>> from repro.core.findrcks import find_rcks
+    >>> pair = credit_billing_pair()
+    >>> target = paper_target(pair)
+    >>> store = MatchStore(target, find_rcks(paper_mds(pair), target, m=5))
+    >>> tid = store.add(LEFT, {"c#": "111", "FN": "Mark", "LN": "Clifford"})
+    >>> store.stats()["left_rows"]
+    1
+    """
+
+    def __init__(
+        self,
+        target: ComparableLists,
+        rcks: Sequence[RelativeKey],
+        key_length: int = 1,
+        encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+    ) -> None:
+        if not rcks:
+            raise ValueError("need at least one RCK to build indexes")
+        self.target = target
+        self.pair = target.pair
+        self.rcks: List[RelativeKey] = list(rcks)
+        self.key_length = key_length
+        self.encode_attributes: Tuple[str, ...] = tuple(encode_attributes)
+        self.left = Relation(self.pair.left)
+        self.right = Relation(self.pair.right)
+        self.indexes: List[RCKIndex] = indexes_from_rcks(
+            self.rcks, key_length, self.encode_attributes
+        )
+        self._parent: Dict[Node, Node] = {}
+        self._members: Dict[Node, Set[Node]] = {}
+        self._arrival: Dict[Node, Dict[str, object]] = {}
+        #: Candidate pair comparisons charged so far (ingest + bootstrap).
+        self.comparisons = 0
+        #: Cluster merges performed (successful unions).
+        self.merges = 0
+
+    # ------------------------------------------------------------------
+    # Records and indexes
+    # ------------------------------------------------------------------
+
+    def relation(self, side: int) -> Relation:
+        """The relation holding the given side's records."""
+        if side == LEFT:
+            return self.left
+        if side == RIGHT:
+            return self.right
+        raise ValueError(f"side must be LEFT (0) or RIGHT (1), got {side}")
+
+    def add(self, side: int, values: Dict[str, object], tid: Optional[int] = None) -> int:
+        """Insert a record and index it; no matching happens here.
+
+        Returns the assigned tuple id.  The record starts as a singleton
+        cluster; :class:`~repro.engine.matcher.IncrementalMatcher.ingest`
+        is the entry point that also probes and matches.
+        """
+        relation = self.relation(side)
+        tid = relation.insert(values, tid=tid)
+        row = relation[tid]
+        for index in self.indexes:
+            index.add(side, row)
+        self._arrival[node_of(side, tid)] = row.values()
+        self.find(node_of(side, tid))  # register the singleton cluster
+        return tid
+
+    def arrival_values(self, side: int, tid: int) -> Dict[str, object]:
+        """The record's values as ingested, before any consensus repair.
+
+        Index keys and cluster value resolution both work from arrival
+        values; the relations' *current* values carry the per-cluster
+        consensus written by the matcher.
+        """
+        return dict(self._arrival[node_of(side, tid)])
+
+    def arrival_row(self, side: int, tid: int) -> Row:
+        """A row view of the arrival values, for index probing.
+
+        Buckets are keyed by arrival values, so probing must derive keys
+        from them too — a consensus repair that rewrites a key attribute
+        would otherwise hash a record into a bucket it was never added to.
+        """
+        return Row(tid, self._arrival[node_of(side, tid)])
+
+    def neighbors(self, side: int, row: Row) -> List[int]:
+        """Other-side tuple ids sharing at least one index bucket with ``row``.
+
+        This is the record's candidate neighborhood — the union of one
+        bucket probe per index, exactly the pairs multi-pass blocking on
+        the same keys would generate for it.
+        """
+        seen: Set[int] = set()
+        for index in self.indexes:
+            seen.update(index.probe(side, row))
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Identity clusters (incremental union-find)
+    # ------------------------------------------------------------------
+
+    def find(self, node: Node) -> Node:
+        """Root of ``node``'s cluster, registering it when unseen."""
+        parent = self._parent
+        if node not in parent:
+            parent[node] = node
+            self._members[node] = {node}
+            return node
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(self, a: Node, b: Node) -> bool:
+        """Merge two clusters; True when they were distinct."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if len(self._members[root_a]) < len(self._members[root_b]):
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._members[root_a] |= self._members.pop(root_b)
+        self.merges += 1
+        return True
+
+    def same(self, a: Node, b: Node) -> bool:
+        """Whether two records are currently in one cluster."""
+        return self.find(a) == self.find(b)
+
+    def cluster_nodes(self, side: int, tid: int) -> Set[Node]:
+        """All nodes in the cluster of the given record."""
+        return set(self._members[self.find(node_of(side, tid))])
+
+    def cluster_of(self, side: int, tid: int) -> Cluster:
+        """The record's cluster as a :class:`~repro.matching.clustering.Cluster`."""
+        return _as_cluster(self.cluster_nodes(side, tid))
+
+    def clusters(self, include_singletons: bool = False) -> List[Cluster]:
+        """All identity clusters (only merged ones unless asked otherwise).
+
+        With the default ``include_singletons=False`` the result is
+        directly comparable to the batch side's
+        :func:`~repro.matching.clustering.cluster_matches`, which never
+        reports unmatched records.
+        """
+        result = [
+            _as_cluster(members)
+            for members in self._members.values()
+            if include_singletons or len(members) > 1
+        ]
+        result.sort(key=lambda cluster: (sorted(cluster.left_tids), sorted(cluster.right_tids)))
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters and sizes, JSON-serializable."""
+        clusters = self.clusters()
+        return {
+            "left_rows": len(self.left),
+            "right_rows": len(self.right),
+            "matched_clusters": len(clusters),
+            "largest_cluster": max((cluster.size for cluster in clusters), default=0),
+            "comparisons": self.comparisons,
+            "merges": self.merges,
+            "indexes": {
+                index.name: {
+                    "buckets": len(index),
+                    "largest_bucket": index.largest_bucket(),
+                }
+                for index in self.indexes
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchStore({len(self.left)}+{len(self.right)} rows, "
+            f"{len(self.indexes)} indexes, {self.merges} merges)"
+        )
+
+
+def _as_cluster(members: Iterable[Node]) -> Cluster:
+    lefts = frozenset(tid for tag, tid in members if tag == "L")
+    rights = frozenset(tid for tag, tid in members if tag == "R")
+    return Cluster(lefts, rights)

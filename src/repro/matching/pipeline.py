@@ -14,6 +14,13 @@ matchers plug in.  This module packages the full flow for downstream users:
      dynamic semantics in action, able to match tuples that no single rule
      matches directly (the paper's t1/t4 example, where ϕ2 first repairs
      the address and ϕ1 then fires).
+
+Both matchers are *batch*: each run re-blocks, re-compares and re-enforces
+the full instance from scratch.  For online workloads — records arriving
+one at a time or in micro-batches against a warm instance — use
+:mod:`repro.engine`, which keeps per-RCK inverted indexes and identity
+clusters incrementally and only ever evaluates the delta, while reaching
+the same clusters as :class:`EnforcementMatcher` on the same data.
 """
 
 from __future__ import annotations

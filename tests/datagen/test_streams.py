@@ -1,0 +1,81 @@
+"""Streaming workload scenarios over generated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schema import LEFT, RIGHT
+from repro.datagen.streams import (
+    arrival_stream,
+    duplicate_burst_stream,
+    late_duplicate_stream,
+)
+
+ALL_SCENARIOS = [arrival_stream, duplicate_burst_stream, late_duplicate_stream]
+
+
+@pytest.mark.parametrize("make_stream", ALL_SCENARIOS)
+def test_events_cover_dataset_exactly(small_dataset, make_stream):
+    """Every record appears exactly once, with its dataset tuple id."""
+    workload = make_stream(small_dataset, seed=3)
+    left_tids = [e.tid for e in workload.events if e.side == LEFT]
+    right_tids = [e.tid for e in workload.events if e.side == RIGHT]
+    assert sorted(left_tids) == sorted(small_dataset.credit.tids())
+    assert sorted(right_tids) == sorted(small_dataset.billing.tids())
+    assert len(workload) == len(left_tids) + len(right_tids)
+    assert workload.counts() == (len(left_tids), len(right_tids))
+    assert workload.true_matches == small_dataset.true_matches
+
+
+@pytest.mark.parametrize("make_stream", ALL_SCENARIOS)
+def test_events_carry_values_and_truth(small_dataset, make_stream):
+    workload = make_stream(small_dataset, seed=3)
+    event = workload.events[0]
+    relation = (
+        small_dataset.credit if event.side == LEFT else small_dataset.billing
+    )
+    entity = (
+        small_dataset.credit_entity
+        if event.side == LEFT
+        else small_dataset.billing_entity
+    )
+    assert event.values == relation[event.tid].values()
+    assert event.entity == entity[event.tid]
+
+
+@pytest.mark.parametrize("make_stream", ALL_SCENARIOS)
+def test_deterministic_given_seed(small_dataset, make_stream):
+    a = make_stream(small_dataset, seed=9)
+    b = make_stream(small_dataset, seed=9)
+    c = make_stream(small_dataset, seed=10)
+    assert a.events == b.events
+    assert a.events != c.events
+
+
+def test_duplicate_bursts_are_contiguous(small_dataset):
+    """Within a burst every record belongs to one entity."""
+    workload = duplicate_burst_stream(small_dataset, seed=4)
+    entities_in_order = [event.entity for event in workload.events]
+    # Once an entity's burst ends, that entity never reappears.
+    seen = set()
+    previous = None
+    for entity in entities_in_order:
+        if entity != previous:
+            assert entity not in seen
+            seen.add(entity)
+            previous = entity
+
+
+def test_late_duplicates_arrive_after_first_sightings(small_dataset):
+    workload = late_duplicate_stream(small_dataset, seed=4)
+    first_seen = {}
+    for position, event in enumerate(workload.events):
+        first_seen.setdefault(event.entity, position)
+    head_len = len(small_dataset.credit) + len(
+        {e for e in small_dataset.billing_entity.values()}
+    )
+    # Every entity is first seen within the head of the stream.
+    assert all(position < head_len for position in first_seen.values())
+    # The tail is pure duplicates (entities already seen).
+    tail = workload.events[head_len:]
+    assert all(first_seen[event.entity] < head_len for event in tail)

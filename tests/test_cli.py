@@ -205,3 +205,95 @@ class TestDemo:
         output = capsys.readouterr().out
         assert "Deduced RCKs" in output
         assert "(0, 3)" in output  # t1 ~ t6
+
+
+class TestEngine:
+    @pytest.fixture
+    def fig1_csvs(self, tmp_path):
+        _, credit, billing = figure1_instances()
+        left_path = tmp_path / "credit.csv"
+        right_path = tmp_path / "billing.csv"
+        save_relation(credit, left_path)
+        save_relation(billing, right_path)
+        return left_path, right_path
+
+    def test_ingest_creates_store(self, schema_file, md_file, fig1_csvs,
+                                  tmp_path, capsys):
+        left_path, right_path = fig1_csvs
+        store_path = tmp_path / "store.json"
+        code = main(
+            ["engine", "ingest", "--schema", str(schema_file),
+             "--mds", str(md_file), "--store", str(store_path),
+             "--left", str(left_path), "--right", str(right_path)]
+        )
+        assert code == 0
+        assert store_path.exists()
+        output = capsys.readouterr().out
+        assert "ingested 6 record(s)" in output
+
+    def test_ingest_resumes_existing_store(self, schema_file, md_file,
+                                           fig1_csvs, tmp_path, capsys):
+        left_path, right_path = fig1_csvs
+        store_path = tmp_path / "store.json"
+        assert main(
+            ["engine", "ingest", "--schema", str(schema_file),
+             "--mds", str(md_file), "--store", str(store_path),
+             "--left", str(left_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["engine", "ingest", "--schema", str(schema_file),
+             "--mds", str(md_file), "--store", str(store_path),
+             "--right", str(right_path), "--json"]
+        )
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["left_rows"] == 2
+        assert stats["right_rows"] == 4
+        assert stats["matched_clusters"] == 1
+        assert stats["new_merges"] > 0
+
+    def test_stats_and_query(self, schema_file, md_file, fig1_csvs,
+                             tmp_path, capsys):
+        left_path, right_path = fig1_csvs
+        store_path = tmp_path / "store.json"
+        assert main(
+            ["engine", "ingest", "--schema", str(schema_file),
+             "--mds", str(md_file), "--store", str(store_path),
+             "--left", str(left_path), "--right", str(right_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["engine", "stats", "--store", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "left_rows: 2" in output
+        assert "matched_clusters: 1" in output
+
+        assert main(
+            ["engine", "query", "--store", str(store_path),
+             "--side", "left", "--tid", "0", "--json"]
+        ) == 0
+        cluster = json.loads(capsys.readouterr().out)
+        assert cluster["left_tids"] == [0]
+        assert cluster["right_tids"] == [0, 1, 2, 3]
+
+    def test_query_unknown_tid(self, schema_file, md_file, fig1_csvs,
+                               tmp_path, capsys):
+        left_path, _ = fig1_csvs
+        store_path = tmp_path / "store.json"
+        assert main(
+            ["engine", "ingest", "--schema", str(schema_file),
+             "--mds", str(md_file), "--store", str(store_path),
+             "--left", str(left_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["engine", "query", "--store", str(store_path),
+             "--side", "right", "--tid", "99"]
+        )
+        assert code == 2
+        assert "no right record" in capsys.readouterr().err
+
+    def test_stats_missing_store(self, tmp_path, capsys):
+        code = main(["engine", "stats", "--store", str(tmp_path / "no.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
