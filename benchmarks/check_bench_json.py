@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Schema-check the JSON lines emitted by the benchmark suite.
+
+CI runs the JSON-emitting benchmarks at smoke scale
+(``REPRO_BENCH_TINY=1``) with ``REPRO_BENCH_JSON`` pointing at a scratch
+file, then validates that file here.  The checks are *structural and
+invariant-based*, never timing-based, so the job is stable on shared
+runners:
+
+* every known benchmark document carries its required keys with the
+  right types;
+* cross-field invariants hold (the kernel charges fewer evaluations
+  than the naive path, the streaming engine beats batch re-runs, ...).
+
+Exit status 0 when every line passes, 1 with a per-line report otherwise.
+
+Usage::
+
+    python benchmarks/check_bench_json.py bench.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Required keys (name -> type) per benchmark document.
+SCHEMAS = {
+    "engine_streaming_ingest": {
+        "scenario": str,
+        "records": int,
+        "seconds_per_stream": float,
+        "records_per_sec": float,
+        "comparisons": int,
+        "matched_clusters": int,
+    },
+    "engine_vs_batch_rerun": {
+        "records": int,
+        "batch_seconds_per_run": float,
+        "batch_candidates": int,
+        "stream_comparisons": int,
+        "batch_rerun_comparisons": int,
+        "saving_factor": float,
+    },
+    "plan_kernel_vs_naive": {
+        "K": int,
+        "candidates": int,
+        "matches": int,
+        "plan_evaluations": int,
+        "plan_cache_hits": int,
+        "naive_evaluations": int,
+        "evaluation_saving": float,
+        "plan_seconds": float,
+        "naive_seconds": float,
+    },
+}
+
+
+def check_document(document: dict) -> list:
+    """Problems with one benchmark document (empty list = OK)."""
+    problems = []
+    name = document.get("benchmark")
+    if name not in SCHEMAS:
+        return [f"unknown benchmark name: {name!r}"]
+    for key, expected in SCHEMAS[name].items():
+        if key not in document:
+            problems.append(f"{name}: missing key {key!r}")
+            continue
+        value = document[key]
+        if expected is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, expected) and not isinstance(value, bool)
+        if not ok:
+            problems.append(
+                f"{name}: key {key!r} has type {type(value).__name__}, "
+                f"expected {expected.__name__}"
+            )
+    if problems:
+        return problems
+
+    # Cross-field invariants (regression checks, not timing checks).
+    if name == "engine_streaming_ingest":
+        if document["records"] <= 0 or document["matched_clusters"] <= 0:
+            problems.append(f"{name}: empty run")
+        if document["comparisons"] <= 0:
+            problems.append(f"{name}: no comparisons charged")
+    elif name == "engine_vs_batch_rerun":
+        if document["saving_factor"] <= 10:
+            problems.append(
+                f"{name}: saving_factor {document['saving_factor']:.1f} "
+                "regressed below the asserted 10x"
+            )
+        if document["stream_comparisons"] >= document["batch_rerun_comparisons"]:
+            problems.append(f"{name}: stream costs more than batch re-runs")
+    elif name == "plan_kernel_vs_naive":
+        if document["plan_evaluations"] >= document["naive_evaluations"]:
+            problems.append(
+                f"{name}: compiled plan no longer saves evaluations "
+                f"({document['plan_evaluations']} >= "
+                f"{document['naive_evaluations']})"
+            )
+        if document["plan_cache_hits"] <= 0:
+            problems.append(f"{name}: similarity cache never hit")
+        if document["matches"] <= 0:
+            problems.append(f"{name}: no matches decided")
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 1
+    lines = [
+        line for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if not lines:
+        print(f"error: {path} is empty — no benchmark emitted JSON", file=sys.stderr)
+        return 1
+    failures = 0
+    seen = set()
+    for number, line in enumerate(lines, start=1):
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError as error:
+            print(f"line {number}: invalid JSON ({error})", file=sys.stderr)
+            failures += 1
+            continue
+        seen.add(document.get("benchmark"))
+        for problem in check_document(document):
+            print(f"line {number}: {problem}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} problem(s) in {path}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(lines)} benchmark document(s), {sorted(seen)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,6 +8,11 @@ m up to 50, K up to 8000), which is what EXPERIMENTS.md records.
 
 Benchmarks print their result tables; run with ``-s`` (or read the
 captured output) to see the regenerated figures.
+
+``REPRO_BENCH_TINY=1`` shrinks every axis to smoke-test scale (seconds of
+runtime): CI uses it to run the JSON-emitting benchmarks on every push and
+schema-check their output (``benchmarks/check_bench_json.py``) without
+caring about timing.
 """
 
 from __future__ import annotations
@@ -18,6 +23,9 @@ import pytest
 
 #: Full-scale axes (paper-shaped, minutes of runtime).
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Smoke-test axes (CI: schema/regression checks only, no timing claims).
+TINY = bool(int(os.environ.get("REPRO_BENCH_TINY", "0")))
 
 
 def fig8a_cards():
@@ -36,11 +44,21 @@ def fig8b_card():
     return 2000 if FULL else 600
 
 def matching_sizes():
+    if TINY:
+        return (200,)
     return (1000, 2000, 4000, 8000) if FULL else (500, 1000, 2000)
 
 
 def engine_stream_size():
+    if TINY:
+        return 150
     return 2000 if FULL else 500
+
+
+def kernel_size():
+    if TINY:
+        return 250
+    return 2000 if FULL else 1000
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,61 @@
+"""BENCH — the compiled enforcement kernel vs the naive evaluation path.
+
+Acceptance benchmark for the ``repro.plan`` refactor: running the
+enforcement chase over Exp-4's RCK-blocking candidates through a compiled
+plan (predicates deduplicated, metrics resolved at compile time, per-value
+similarity memo) must charge strictly fewer metric evaluations — measured
+by the plan's own counter — than the uncached per-(pair, rule, atom,
+round) evaluation the pre-refactor matchers performed, while deciding
+identical matches.
+
+Results are printed as one JSON document per test and appended to the
+file named by ``REPRO_BENCH_JSON`` when set (CI schema-checks that file
+with ``benchmarks/check_bench_json.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments import exp_blocking
+
+from conftest import kernel_size
+
+
+def _emit(payload):
+    text = json.dumps(payload, sort_keys=True)
+    print()
+    print(text)
+    sink = os.environ.get("REPRO_BENCH_JSON")
+    if sink:
+        with Path(sink).open("a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def test_kernel_fewer_metric_evaluations_than_naive(benchmark):
+    """Predicate dedup + similarity cache beat the pre-refactor count."""
+    size = kernel_size()
+    record = benchmark.pedantic(
+        exp_blocking.run_kernel_point, args=(size,), kwargs={"seed": 3},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    _emit({
+        "benchmark": "plan_kernel_vs_naive",
+        "K": record["K"],
+        "candidates": record["candidates"],
+        "matches": record["matches"],
+        "plan_evaluations": record["plan evaluations"],
+        "plan_cache_hits": record["plan cache hits"],
+        "naive_evaluations": record["naive evaluations"],
+        "evaluation_saving": record["evaluation saving"],
+        "plan_seconds": record["plan seconds"],
+        "naive_seconds": record["naive seconds"],
+    })
+    assert record["candidates"] > 0
+    assert record["matches"] > 0
+    # The acceptance criterion: the compiled plan's counter shows fewer
+    # metric evaluations than the pre-refactor (uncached) baseline.
+    assert record["plan evaluations"] < record["naive evaluations"]
+    assert record["plan cache hits"] > 0

@@ -6,6 +6,10 @@ The library implements the paper's full stack:
 * :mod:`repro.core` — matching dependencies (MDs), relative candidate keys
   (RCKs), the ``MDClosure`` deduction algorithm, ``findRCKs`` with its
   quality model, and the dynamic semantics / enforcement chase;
+* :mod:`repro.plan` — the enforcement kernel: MDs/RCKs compiled once into
+  an ``EnforcementPlan`` (deduplicated predicates, compile-time metric
+  resolution, similarity memo cache, pluggable blocking backends) that
+  every execution layer shares;
 * :mod:`repro.metrics` — similarity metrics (Damerau–Levenshtein, Jaro,
   q-grams, ...) and the Soundex encoder;
 * :mod:`repro.relations` — the in-memory relational substrate;

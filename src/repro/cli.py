@@ -6,6 +6,10 @@ without writing Python:
 * ``deduce``  — read a schema spec and an MD file, print quality RCKs;
 * ``check``   — decide Σ ⊨m φ for an MD given on the command line;
 * ``match``   — match two CSV files with deduced RCKs, write match pairs;
+* ``plan``    — the enforcement kernel (:mod:`repro.plan`):
+  ``plan explain`` compiles the MD file into an ``EnforcementPlan`` and
+  prints it — deduplicated predicates, metric bindings, lowered rules and
+  keys, and the chosen blocking backend;
 * ``demo``    — run the paper's Fig. 1 example end to end;
 * ``engine``  — the incremental streaming engine (:mod:`repro.engine`):
   ``engine ingest`` streams CSV records into a persistent match store,
@@ -170,6 +174,33 @@ def cmd_match(args) -> int:
     return 0
 
 
+def cmd_plan_explain(args) -> int:
+    from repro.plan import (
+        HashBlockingBackend,
+        SortedNeighborhoodBackend,
+        compile_plan,
+    )
+
+    pair, target = load_schema_spec(Path(args.schema))
+    sigma = load_md_file(Path(args.mds), pair)
+    rcks = find_rcks(sigma, target, m=args.top_k)
+    if not rcks:
+        raise CliError("no RCKs deducible from the given MDs")
+    if args.backend == "hash":
+        blocking = HashBlockingBackend.per_rck(rcks)
+    else:
+        blocking = SortedNeighborhoodBackend.from_rcks(rcks, window=args.window)
+    try:
+        plan = compile_plan(sigma, target, rcks=rcks, blocking=blocking)
+    except (KeyError, ValueError) as error:
+        raise CliError(f"cannot compile the plan: {error}") from None
+    if args.json:
+        print(json.dumps(plan.to_dict(), sort_keys=True))
+    else:
+        print(plan.explain())
+    return 0
+
+
 def _load_engine_store(path: Path):
     from repro.engine import load_store
 
@@ -212,6 +243,9 @@ def cmd_engine_ingest(args) -> int:
     stats = matcher.store.stats()
     stats["ingested"] = ingested
     stats["new_merges"] = matcher.store.merges - merges_before
+    # Work counters of this run's compiled plan (cache state is
+    # per-process; it is not persisted in the snapshot).
+    stats["plan"] = matcher.plan.stats.as_dict()
     if args.json:
         print(json.dumps(stats, sort_keys=True))
     else:
@@ -339,6 +373,30 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--top-k", type=int, default=5, help="RCKs to use")
     match.add_argument("--window", type=int, default=10, help="window size")
     match.set_defaults(func=cmd_match)
+
+    plan = sub.add_parser(
+        "plan", help="the compiled enforcement kernel (repro.plan)"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    explain = plan_sub.add_parser(
+        "explain",
+        help="compile an MD file and print the resulting EnforcementPlan",
+    )
+    explain.add_argument("--schema", required=True, help="schema spec JSON")
+    explain.add_argument("--mds", required=True, help="MD file (one per line)")
+    explain.add_argument("--top-k", type=int, default=5, help="RCKs to deduce")
+    explain.add_argument(
+        "--backend", choices=("sorted-neighborhood", "hash"),
+        default="sorted-neighborhood", help="blocking backend to attach",
+    )
+    explain.add_argument(
+        "--window", type=int, default=10,
+        help="window size (sorted-neighborhood backend)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="print the plan as JSON"
+    )
+    explain.set_defaults(func=cmd_plan_explain)
 
     demo = sub.add_parser("demo", help="run the Fig. 1 example")
     demo.set_defaults(func=cmd_demo)

@@ -23,8 +23,8 @@ an earlier rule application relied on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 from repro.relations.relation import Relation
@@ -272,76 +272,27 @@ def enforce(
 ) -> EnforcementResult:
     """Chase ``instance`` with Σ to a stable extension.
 
-    Each round scans the candidate tuple pairs; whenever a pair matches an
-    MD's LHS in the *current* instance, the RHS cells are merged and every
-    merged class is re-resolved to a single value.  Rounds repeat until no
-    merge happens.  The original ``instance`` is never mutated (the paper:
-    "in the matching process instance D may not be updated").
+    This is the *reference entry point*: it compiles Σ into a throwaway
+    :class:`~repro.plan.compile.EnforcementPlan` and delegates to the one
+    chase kernel (:func:`repro.plan.executor.chase`).  Matchers that chase
+    repeatedly hold a long-lived plan instead and call
+    :meth:`~repro.plan.compile.EnforcementPlan.enforce` directly, sharing
+    the compiled predicates and the similarity memo cache across runs.
 
     ``candidate_pairs`` bounds the quadratic pair scan; matchers pass the
     output of blocking/windowing here.
     """
-    working = instance.copy()
-    cells = _CellUnionFind()
-    pairs: List[Tuple[int, int]] = (
-        list(candidate_pairs)
-        if candidate_pairs is not None
-        else list(instance.tuple_pairs())
+    # Deliberate lazy import: repro.plan sits above repro.core in the
+    # layering and imports this module for the chase's data structures.
+    from repro.plan.compile import compile_plan
+
+    plan = compile_plan(sigma=sigma, registry=registry)
+    return plan.enforce(
+        instance,
+        resolver=resolver,
+        candidate_pairs=candidate_pairs,
+        max_rounds=max_rounds,
     )
-
-    applications = 0
-    rounds = 0
-    shared = working.left is working.right
-    while rounds < max_rounds:
-        rounds += 1
-        merged_this_round = False
-        for left_tid, right_tid in pairs:
-            for dependency in sigma:
-                if not lhs_matches(
-                    dependency, working, left_tid, right_tid, registry
-                ):
-                    continue
-                for atom in dependency.rhs:
-                    left_cell: Cell = (LEFT, left_tid, atom.left)
-                    right_cell: Cell = (RIGHT, right_tid, atom.right)
-                    if cells.union(left_cell, right_cell):
-                        merged_this_round = True
-                        applications += 1
-        if not merged_this_round:
-            break
-        # Re-resolve every merged class to one value.
-        seen_roots: Set[Cell] = set()
-        for left_tid, right_tid in pairs:
-            for side, tid in ((LEFT, left_tid), (RIGHT, right_tid)):
-                relation = working.left if side == LEFT else working.right
-                for attribute in relation.schema.attribute_names:
-                    cell: Cell = (side, tid, attribute)
-                    root = cells.find(cell)
-                    if root in seen_roots:
-                        continue
-                    seen_roots.add(root)
-                    members = cells.members(cell)
-                    if len(members) == 1:
-                        continue
-                    values = [
-                        _cell_value(working, member, shared)
-                        for member in members
-                    ]
-                    resolved = resolver(values)
-                    for member in members:
-                        _set_cell_value(working, member, resolved, shared)
-
-    stable = True
-    for left_tid, right_tid in pairs:
-        for dependency in sigma:
-            if not satisfies(
-                working, working, dependency, registry, [(left_tid, right_tid)]
-            ):
-                stable = False
-                break
-        if not stable:
-            break
-    return EnforcementResult(working, stable, rounds, cells, applications)
 
 
 def _cell_value(instance: InstancePair, cell: Cell, shared: bool) -> object:
@@ -350,11 +301,3 @@ def _cell_value(instance: InstancePair, cell: Cell, shared: bool) -> object:
     side, tid, attribute = cell
     relation = instance.left if side == LEFT else instance.right
     return relation[tid][attribute]
-
-
-def _set_cell_value(
-    instance: InstancePair, cell: Cell, value: object, shared: bool
-) -> None:
-    side, tid, attribute = cell
-    relation = instance.left if side == LEFT else instance.right
-    relation.set_value(tid, attribute, value)

@@ -1,127 +1,23 @@
-"""Inverted indexes keyed by RCK-derived blocking keys.
+"""Inverted indexes keyed by RCK-derived blocking keys (compat shim).
 
-The batch pipelines derive blocking/sorting keys from deduced RCKs once per
-run (:func:`repro.matching.blocking.rck_blocking_keys`); the streaming
-engine instead keeps one *inverted index per RCK*, maintained on every
-ingest.  Probing the indexes with a new record yields exactly the records
-that multi-pass blocking on the same keys would have paired it with — but
-in time proportional to the touched buckets, not the instance.
-
-Each index is keyed by the leading ``key_length`` attribute pairs of its
-RCK, with name attributes Soundex-encoded before hashing (the paper's
-Exp-4 recipe: "one of the attributes is name, encoded by Soundex before
-blocking").  Keys are computed from a record's *arrival* values and never
-rewritten — matching later repairs a stored value, the bucket assignment
-stays, exactly as batch blocking keys are computed before enforcement.
+The index machinery moved into the enforcement kernel's blocking layer
+(:mod:`repro.plan.blocking`), where it backs
+:class:`~repro.plan.blocking.HashBlockingBackend` — the same structures
+now serve batch multi-pass blocking and the streaming engine's
+per-record ``add``/``probe``.  This module re-exports the historical
+names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from repro.plan.blocking import (
+    DEFAULT_ENCODED_ATTRIBUTES,
+    RCKIndex,
+    indexes_from_rcks,
+)
 
-from repro.core.rck import RelativeKey
-from repro.core.schema import LEFT
-from repro.matching.blocking import RowKey, attribute_key
-from repro.metrics.soundex import soundex
-from repro.relations.relation import Row
-
-#: Attributes Soundex-encoded by default (the schemas' name attributes).
-DEFAULT_ENCODED_ATTRIBUTES = ("FN", "LN")
-
-
-class RCKIndex:
-    """One inverted index: RCK blocking key → posting lists per side.
-
-    >>> from repro.core.schema import RelationSchema
-    >>> from repro.relations.relation import Relation
-    >>> schema = RelationSchema("R", ["LN", "zip"])
-    >>> index = RCKIndex("ln", [("LN", "LN")])
-    >>> relation = Relation(schema)
-    >>> tid = relation.insert({"LN": "Clifford", "zip": "07974"})
-    >>> index.add(LEFT, relation[tid])
-    ('C416',)
-    >>> other = relation.insert({"LN": "Clivord", "zip": "07974"})
-    >>> index.probe(1, relation[other])  # right-side probe hits the left row
-    [0]
-    """
-
-    def __init__(
-        self,
-        name: str,
-        pairs: Sequence[Tuple[str, str]],
-        encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
-    ) -> None:
-        if not pairs:
-            raise ValueError("an index needs at least one attribute pair")
-        self.name = name
-        self.pairs: Tuple[Tuple[str, str], ...] = tuple(pairs)
-        encode = set(encode_attributes)
-        left_attrs = [left for left, _ in self.pairs]
-        right_attrs = [right for _, right in self.pairs]
-        self.left_key: RowKey = attribute_key(
-            left_attrs,
-            [soundex if attr in encode else None for attr in left_attrs],
-        )
-        self.right_key: RowKey = attribute_key(
-            right_attrs,
-            [soundex if attr in encode else None for attr in right_attrs],
-        )
-        self._buckets: Dict[Hashable, Tuple[List[int], List[int]]] = {}
-
-    def key_for(self, side: int, row: Row) -> Hashable:
-        """The derived blocking key of ``row`` on the given side."""
-        return self.left_key(row) if side == LEFT else self.right_key(row)
-
-    def add(self, side: int, row: Row) -> Hashable:
-        """Index ``row``; returns the bucket key it landed in."""
-        key = self.key_for(side, row)
-        bucket = self._buckets.setdefault(key, ([], []))
-        bucket[0 if side == LEFT else 1].append(row.tid)
-        return key
-
-    def probe(self, side: int, row: Row) -> List[int]:
-        """Tuple ids of the *other* side sharing ``row``'s bucket."""
-        bucket = self._buckets.get(self.key_for(side, row))
-        if bucket is None:
-            return []
-        return list(bucket[1 if side == LEFT else 0])
-
-    def __len__(self) -> int:
-        return len(self._buckets)
-
-    def largest_bucket(self) -> int:
-        """Size of the fullest bucket (both sides counted)."""
-        if not self._buckets:
-            return 0
-        return max(len(lefts) + len(rights) for lefts, rights in self._buckets.values())
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"RCKIndex({self.name!r}, {len(self)} buckets)"
-
-
-def indexes_from_rcks(
-    rcks: Sequence[RelativeKey],
-    key_length: int = 1,
-    encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
-) -> List[RCKIndex]:
-    """One inverted index per RCK, deduplicated by key specification.
-
-    Each index takes the leading ``key_length`` attribute pairs of its RCK
-    (short keys favour recall: a duplicate only needs to agree on one
-    leading pair of *some* RCK to be probed).  RCKs whose leading pairs
-    coincide share one index.
-    """
-    if not rcks:
-        raise ValueError("need at least one RCK")
-    if key_length < 1:
-        raise ValueError(f"key_length must be >= 1, got {key_length}")
-    indexes: List[RCKIndex] = []
-    seen: set = set()
-    for position, key in enumerate(rcks):
-        pairs = key.attribute_pairs()[:key_length]
-        if pairs in seen:
-            continue
-        seen.add(pairs)
-        name = f"rck{position}:" + "+".join(left for left, _ in pairs)
-        indexes.append(RCKIndex(name, pairs, encode_attributes))
-    return indexes
+__all__ = [
+    "DEFAULT_ENCODED_ATTRIBUTES",
+    "RCKIndex",
+    "indexes_from_rcks",
+]

@@ -26,22 +26,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.findrcks import find_rcks
 from repro.core.md import MatchingDependency
 from repro.core.schema import LEFT, RIGHT, ComparableLists
 from repro.core.semantics import (
     InstancePair,
     ValueResolver,
-    enforce,
     prefer_informative,
 )
-from repro.matching.blocking import multi_pass_block_pairs
 from repro.matching.evaluate import Pair
-from repro.matching.windowing import rck_sort_keys, window_pairs
+from repro.plan.blocking import (
+    DEFAULT_ENCODED_ATTRIBUTES,
+    SortedNeighborhoodBackend,
+)
+from repro.plan.compile import EnforcementPlan, compile_plan
 from repro.relations.relation import Relation
 from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 
-from .indexes import DEFAULT_ENCODED_ATTRIBUTES
 from .store import MatchStore, Node, node_of
 
 _SIDES = {"L": LEFT, "R": RIGHT}
@@ -105,8 +105,8 @@ class IncrementalMatcher:
 
     def __init__(
         self,
-        sigma: Sequence[MatchingDependency],
-        target: ComparableLists,
+        sigma: Sequence[MatchingDependency] = (),
+        target: Optional[ComparableLists] = None,
         top_k: int = 5,
         registry: MetricRegistry = DEFAULT_REGISTRY,
         resolver: ValueResolver = prefer_informative,
@@ -114,21 +114,38 @@ class IncrementalMatcher:
         key_length: int = 1,
         encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
         max_cascade: int = 256,
+        plan: Optional[EnforcementPlan] = None,
     ) -> None:
-        if not sigma:
-            raise ValueError("need at least one MD")
-        self.sigma = list(sigma)
-        self.target = target
-        self.registry = registry
+        if plan is None:
+            if not sigma:
+                raise ValueError("need at least one MD")
+            if target is None:
+                raise ValueError("need a match target")
+            # A restored store already carries its deduced RCKs; compile
+            # the plan over them so probing and matching stay consistent.
+            plan = compile_plan(
+                sigma,
+                target,
+                rcks=store.rcks if store is not None else None,
+                top_k=top_k,
+                registry=registry,
+            )
+        elif not plan.sigma or plan.target is None:
+            raise ValueError("the given plan was compiled without MDs or target")
+        self.plan = plan
+        self.sigma = list(plan.sigma)
+        self.target = plan.target
+        self.registry = plan.registry
         self.resolver = resolver
         self.max_cascade = max_cascade
         if store is None:
-            rcks = find_rcks(self.sigma, target, m=top_k)
-            store = MatchStore(target, rcks, key_length, encode_attributes)
-        elif store.target != target:
+            store = MatchStore(
+                self.target, plan.rcks, key_length, encode_attributes
+            )
+        elif store.target != self.target:
             raise ValueError("store was built for a different target")
         self.store = store
-        self._target_pairs = target.attribute_pairs()
+        self._target_pairs = self.target.attribute_pairs()
 
     # ------------------------------------------------------------------
     # Streaming ingestion
@@ -225,11 +242,11 @@ class IncrementalMatcher:
     ) -> BootstrapResult:
         """Warm-start an empty store from existing batch relations.
 
-        Candidate generation reuses the batch blocking code
-        (:func:`~repro.matching.blocking.multi_pass_block_pairs`) over the
-        same keys the store's indexes maintain, optionally unioned with a
-        sorted-neighborhood pass of the given ``window`` — then a single
-        enforcement chase matches the candidates and seeds the clusters.
+        Candidate generation runs through the store's hash-blocking
+        backend (the same one batch pipelines use), optionally unioned
+        with a sorted-neighborhood pass of the given ``window`` — then a
+        single enforcement chase matches the candidates and seeds the
+        clusters.
         """
         store = self.store
         if len(store.left) or len(store.right):
@@ -238,13 +255,10 @@ class IncrementalMatcher:
             store.add(LEFT, row.values(), tid=row.tid if preserve_tids else None)
         for row in right.rows():
             store.add(RIGHT, row.values(), tid=row.tid if preserve_tids else None)
-        keys = [(index.left_key, index.right_key) for index in store.indexes]
-        pairs = set(multi_pass_block_pairs(store.left, store.right, keys))
+        pairs = set(store.blocking.candidates(store.left, store.right))
         if window is not None:
-            left_key, right_key = rck_sort_keys(store.rcks)
-            pairs.update(
-                window_pairs(store.left, store.right, left_key, right_key, window)
-            )
+            sn = SortedNeighborhoodBackend.from_rcks(store.rcks, window=window)
+            pairs.update(sn.candidates(store.left, store.right))
         ordered = sorted(pairs)
         store.comparisons += len(ordered)
         matches = self._match_pairs(ordered) if ordered else []
@@ -301,7 +315,9 @@ class IncrementalMatcher:
         preserved), so the chase never copies or rescans the full store —
         its cost is bounded by the delta.  A pair matches when the chase
         identified all target cells, exactly the batch matcher's decision
-        rule.
+        rule: both run :meth:`EnforcementPlan.enforce` on the same
+        compiled rules, and the plan's similarity cache persists across
+        ingests (a stream of near-duplicates keeps hitting it).
         """
         store = self.store
         involved_left = sorted({left_tid for left_tid, _ in pairs})
@@ -320,10 +336,8 @@ class IncrementalMatcher:
                 )
                 local.insert(values, tid=tid)
         instance = InstancePair(store.pair, local_left, local_right)
-        result = enforce(
+        result = self.plan.enforce(
             instance,
-            self.sigma,
-            registry=self.registry,
             resolver=self.resolver,
             candidate_pairs=list(pairs),
         )

@@ -26,9 +26,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.core.rck import RelativeKey
 from repro.core.schema import LEFT, RIGHT, ComparableLists
 from repro.matching.clustering import Cluster
+from repro.plan.blocking import (
+    DEFAULT_ENCODED_ATTRIBUTES,
+    HashBlockingBackend,
+    RCKIndex,
+)
 from repro.relations.relation import Relation, Row
-
-from .indexes import DEFAULT_ENCODED_ATTRIBUTES, RCKIndex, indexes_from_rcks
 
 #: A clustered record identity: ("L" | "R", tuple id) — the same node
 #: convention as :mod:`repro.matching.clustering`.
@@ -71,9 +74,13 @@ class MatchStore:
         self.encode_attributes: Tuple[str, ...] = tuple(encode_attributes)
         self.left = Relation(self.pair.left)
         self.right = Relation(self.pair.right)
-        self.indexes: List[RCKIndex] = indexes_from_rcks(
+        #: The kernel's hash-blocking backend doubles as the store's index
+        #: set: batch bootstrap calls ``blocking.candidates`` and streaming
+        #: ingest calls ``blocking.add``/``probe`` on the same structures.
+        self.blocking = HashBlockingBackend.per_rck(
             self.rcks, key_length, self.encode_attributes
         )
+        self.indexes: List[RCKIndex] = self.blocking.indexes
         self._parent: Dict[Node, Node] = {}
         self._members: Dict[Node, Set[Node]] = {}
         self._arrival: Dict[Node, Dict[str, object]] = {}
@@ -104,8 +111,7 @@ class MatchStore:
         relation = self.relation(side)
         tid = relation.insert(values, tid=tid)
         row = relation[tid]
-        for index in self.indexes:
-            index.add(side, row)
+        self.blocking.add(side, row)
         self._arrival[node_of(side, tid)] = row.values()
         self.find(node_of(side, tid))  # register the singleton cluster
         return tid
@@ -132,13 +138,10 @@ class MatchStore:
         """Other-side tuple ids sharing at least one index bucket with ``row``.
 
         This is the record's candidate neighborhood — the union of one
-        bucket probe per index, exactly the pairs multi-pass blocking on
-        the same keys would generate for it.
+        bucket probe per index, exactly the pairs the backend's batch
+        ``candidates`` over the same keys would generate for it.
         """
-        seen: Set[int] = set()
-        for index in self.indexes:
-            seen.update(index.probe(side, row))
-        return sorted(seen)
+        return self.blocking.probe(side, row)
 
     # ------------------------------------------------------------------
     # Identity clusters (incremental union-find)

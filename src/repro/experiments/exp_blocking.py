@@ -12,32 +12,82 @@ Protocol (Section 6.2, Exp-4):
   truth, "without relying on any particular matching method";
 * the windowing variant (reported in the text as "comparable") repeats
   the comparison with sorted-window candidate generation.
+
+Candidate generation runs through the enforcement kernel's pluggable
+:class:`~repro.plan.blocking.BlockingBackend` implementations — the same
+backends the batch matchers and the streaming engine execute.
+:func:`run_kernel_point` additionally measures what compiling the rules
+buys: direct RCK matching over the blocking candidates through a compiled
+:class:`~repro.plan.compile.EnforcementPlan` (predicates deduplicated
+across keys + similarity memo cache) versus the pre-refactor baseline
+that re-evaluates every rule atom per pair
+(``benchmarks/test_plan_kernel.py`` asserts the reduction).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datagen.generator import generate_dataset
 from repro.datagen.noise import NoiseModel
 from repro.datagen.schemas import extended_mds
-from repro.matching.blocking import (
-    attribute_key,
-    block_pairs,
-    rck_blocking_keys,
-)
 from repro.matching.evaluate import evaluate_reduction
-from repro.matching.windowing import window_pairs
+from repro.plan.blocking import (
+    BlockingBackend,
+    HashBlockingBackend,
+    RCKIndex,
+    SortedNeighborhoodBackend,
+    attribute_key,
+    leading_attribute_pairs,
+)
+from repro.plan.compile import compile_plan
 from repro.metrics.soundex import soundex
 
 from .exp_fs import DEFAULT_SIZES, TOP_K_RCKS, deduce_rcks
-from .harness import Table
+from .harness import Table, timed
 
 #: The manual blocking key of the baseline: last name (Soundex-encoded),
 #: street and zip — the name-plus-address key a practitioner would pick
 #: first, which underuses the rule knowledge RCKs encode (street is long
 #: and error-prone; the cost model steers RCKs to shorter attributes).
 MANUAL_ATTRIBUTES = ("LN", "street", "zip")
+
+
+def rck_backend(rcks, mode: str = "blocking", window: int = 10) -> BlockingBackend:
+    """The RCK-derived candidate backend for one Exp-4 configuration.
+
+    Blocking uses one hash pass over three attributes from the top two
+    RCKs (names Soundex-encoded, per the paper); windowing slides the
+    standard window over the same derived key.
+    """
+    pairs = leading_attribute_pairs(rcks[:2], attribute_count=3)
+    if len(pairs) < 3:
+        raise ValueError(
+            f"the top RCKs only provide {len(pairs)} distinct attribute "
+            "pairs, Exp-4 needs 3"
+        )
+    index = RCKIndex("exp4-rck", pairs, encode_attributes=("FN", "LN"))
+    if mode == "blocking":
+        return HashBlockingBackend([index])
+    return SortedNeighborhoodBackend(
+        [(index.left_key, index.right_key)],
+        window,
+        "+".join(left for left, _ in pairs),
+    )
+
+
+def manual_backend(mode: str = "blocking", window: int = 10) -> BlockingBackend:
+    """The baseline backend over the manually chosen key."""
+    index = RCKIndex(
+        "manual",
+        [(attribute, attribute) for attribute in MANUAL_ATTRIBUTES],
+        encode_attributes=("LN",),
+    )
+    if mode == "blocking":
+        return HashBlockingBackend([index])
+    return SortedNeighborhoodBackend(
+        [(index.left_key, index.right_key)], window, "+".join(MANUAL_ATTRIBUTES)
+    )
 
 
 def manual_keys():
@@ -63,23 +113,12 @@ def run_point(
     sigma = extended_mds(dataset.pair)
     rcks = deduce_rcks(dataset, sigma, m=TOP_K_RCKS)
 
-    rck_left, rck_right = rck_blocking_keys(rcks[:2], attribute_count=3)
-    man_left, man_right = manual_keys()
-
-    if mode == "blocking":
-        rck_candidates = block_pairs(
-            dataset.credit, dataset.billing, rck_left, rck_right
-        )
-        manual_candidates = block_pairs(
-            dataset.credit, dataset.billing, man_left, man_right
-        )
-    else:
-        rck_candidates = window_pairs(
-            dataset.credit, dataset.billing, rck_left, rck_right, window
-        )
-        manual_candidates = window_pairs(
-            dataset.credit, dataset.billing, man_left, man_right, window
-        )
+    rck_candidates = rck_backend(rcks, mode, window).candidates(
+        dataset.credit, dataset.billing
+    )
+    manual_candidates = manual_backend(mode, window).candidates(
+        dataset.credit, dataset.billing
+    )
 
     rck_reduction = evaluate_reduction(
         rck_candidates, dataset.true_matches, dataset.total_pairs
@@ -96,6 +135,67 @@ def run_point(
         "manual RR": manual_reduction.reduction_ratio,
         "RCK candidates": rck_reduction.candidate_count,
         "manual candidates": manual_reduction.candidate_count,
+    }
+
+
+def run_kernel_point(
+    size: int,
+    seed: int = 0,
+    noise: Optional[NoiseModel] = None,
+    window: int = 10,
+) -> Dict[str, object]:
+    """Metric evaluations with and without the compiled kernel, one K.
+
+    Runs the full enforcement chase over the Exp-4 RCK-blocking
+    candidates twice: once through a cached plan (deduplicated predicates
+    + similarity memo, re-used across chase rounds) and once uncached —
+    the per-(pair, rule, atom, round) evaluation count of the
+    pre-refactor path.  Both must decide identical matches; the cached
+    plan must charge strictly fewer metric evaluations
+    (``benchmarks/test_plan_kernel.py`` pins this).
+    """
+    from repro.core.semantics import InstancePair
+
+    dataset = generate_dataset(size, noise=noise, seed=seed)
+    sigma = extended_mds(dataset.pair)
+    rcks = deduce_rcks(dataset, sigma, m=TOP_K_RCKS)
+    backend = rck_backend(rcks, "blocking", window)
+    candidates = backend.candidates(dataset.credit, dataset.billing)
+    target_pairs = dataset.target.attribute_pairs()
+
+    def decide(plan):
+        instance = InstancePair(
+            dataset.target.pair, dataset.credit, dataset.billing
+        )
+        result = plan.enforce(instance, candidate_pairs=candidates)
+        return [
+            (left_tid, right_tid)
+            for left_tid, right_tid in candidates
+            if result.identified(left_tid, right_tid, target_pairs)
+        ]
+
+    kernel = compile_plan(sigma, dataset.target, rcks=rcks, blocking=backend)
+    naive = compile_plan(
+        sigma, dataset.target, rcks=rcks, blocking=backend, cached=False
+    )
+    kernel_matches, kernel_seconds = timed(decide, kernel)
+    naive_matches, naive_seconds = timed(decide, naive)
+    if kernel_matches != naive_matches:  # pragma: no cover - sanity guard
+        raise AssertionError("kernel and naive paths disagree on matches")
+    return {
+        "K": size,
+        "candidates": len(candidates),
+        "matches": len(kernel_matches),
+        "plan evaluations": kernel.stats.metric_evaluations,
+        "plan cache hits": kernel.stats.cache_hits,
+        "naive evaluations": naive.stats.metric_evaluations,
+        "evaluation saving": (
+            1.0 - kernel.stats.metric_evaluations / naive.stats.metric_evaluations
+            if naive.stats.metric_evaluations
+            else 0.0
+        ),
+        "plan seconds": kernel_seconds,
+        "naive seconds": naive_seconds,
     }
 
 

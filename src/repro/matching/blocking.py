@@ -7,57 +7,38 @@ blocking keys built from (part of) RCK attributes — three attributes from
 the top two RCKs, with the name attribute Soundex-encoded — against
 manually chosen keys.
 
-A blocking key here is a pair of functions (one per relation) deriving a
-hashable key from a row; :func:`block_pairs` returns the candidate pairs
-(cross products within equal-key buckets).  Multi-pass blocking unions the
-candidates of several keys.
+The key-derivation and bucket machinery lives in the enforcement kernel
+(:mod:`repro.plan.blocking`), where the batch pipelines and the streaming
+engine share it; this module re-exports the primitives under their
+historical names and keeps the Exp-4 key recipe
+(:func:`rck_blocking_keys`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.core.rck import RelativeKey
 from repro.metrics.soundex import soundex
-from repro.relations.index import HashIndex
-from repro.relations.relation import Relation, Row
+from repro.plan.blocking import (
+    Encoder,
+    RowKey,
+    attribute_key,
+    hash_candidates,
+    leading_attribute_pairs,
+)
+from repro.relations.relation import Relation
 
 from .evaluate import Pair
 
-#: Derives a blocking key from a row.
-RowKey = Callable[[Row], object]
-
-#: Per-attribute value encoders applied before keying.
-Encoder = Callable[[str], str]
-
-
-def _encode(value: object, encoder: Optional[Encoder]) -> str:
-    text = "" if value is None else str(value)
-    return encoder(text) if encoder is not None else text
-
-
-def attribute_key(
-    attributes: Sequence[str],
-    encoders: Optional[Sequence[Optional[Encoder]]] = None,
-) -> RowKey:
-    """A key function concatenating (encoded) attribute values.
-
-    ``encoders[i]`` (when given) transforms the i-th attribute's value —
-    e.g. :func:`~repro.metrics.soundex.soundex` for names.
-
-    >>> key = attribute_key(["LN"], [soundex])
-    >>> # rows with phonetically equal last names collide
-    """
-    if encoders is not None and len(encoders) != len(attributes):
-        raise ValueError("encoders must align with attributes")
-
-    def derive(row: Row) -> Tuple[str, ...]:
-        return tuple(
-            _encode(row[attribute], encoders[index] if encoders else None)
-            for index, attribute in enumerate(attributes)
-        )
-
-    return derive
+__all__ = [
+    "Encoder",
+    "RowKey",
+    "attribute_key",
+    "block_pairs",
+    "multi_pass_block_pairs",
+    "rck_blocking_keys",
+]
 
 
 def block_pairs(
@@ -67,12 +48,7 @@ def block_pairs(
     right_key: RowKey,
 ) -> List[Pair]:
     """Candidate pairs: all cross-relation pairs sharing a block key."""
-    left_index = HashIndex(left, left_key)
-    candidates: List[Pair] = []
-    for right_row in right:
-        for left_tid in left_index.lookup(right_key(right_row)):
-            candidates.append((left_tid, right_row.tid))
-    return candidates
+    return hash_candidates(left, right, left_key, right_key)
 
 
 def multi_pass_block_pairs(
@@ -87,7 +63,7 @@ def multi_pass_block_pairs(
     """
     seen: Set[Pair] = set()
     for left_key, right_key in keys:
-        seen.update(block_pairs(left, right, left_key, right_key))
+        seen.update(hash_candidates(left, right, left_key, right_key))
     return sorted(seen)
 
 
@@ -106,15 +82,7 @@ def rck_blocking_keys(
     if not rcks:
         raise ValueError("need at least one RCK")
     encode_set = set(encode_attributes)
-    chosen: List[Tuple[str, str]] = []
-    for key in rcks:
-        for left_attr, right_attr in key.attribute_pairs():
-            if (left_attr, right_attr) not in chosen:
-                chosen.append((left_attr, right_attr))
-            if len(chosen) == attribute_count:
-                break
-        if len(chosen) == attribute_count:
-            break
+    chosen = leading_attribute_pairs(rcks, attribute_count)
     if len(chosen) < attribute_count:
         raise ValueError(
             f"the given RCKs only provide {len(chosen)} distinct attribute "

@@ -15,8 +15,8 @@ algorithms".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.rck import RelativeKey
 from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
@@ -30,49 +30,83 @@ Feature = Tuple[str, str, str]
 class ComparisonSpec:
     """An ordered, executable list of comparison features.
 
+    Operator names are resolved to predicates **once, at construction**
+    (through the bound ``registry``) — evaluating a spec never goes back
+    to the registry, which ``tests/matching/test_comparison.py`` pins
+    with a lookup-count regression test.  Passing a *different* registry
+    to :meth:`compare`/:meth:`agrees_on_all` still works and resolves
+    through that registry instead; an operator the bound registry does
+    not know defers its resolution to call time (so specs naming
+    custom-registry metrics still construct, exactly as before).
+
     >>> spec = ComparisonSpec((("FN", "FN", "dl(0.8)"), ("LN", "LN", "=")))
     >>> len(spec)
     2
     """
 
     features: Tuple[Feature, ...]
+    registry: MetricRegistry = field(
+        default=DEFAULT_REGISTRY, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.features:
             raise ValueError("a comparison spec needs at least one feature")
         if len(set(self.features)) != len(self.features):
             raise ValueError("duplicate features in comparison spec")
+        resolved = []
+        for _, _, operator_name in self.features:
+            try:
+                resolved.append(self.registry.resolve(operator_name))
+            except (KeyError, ValueError):
+                # Unknown to the bound registry; a call-time registry may
+                # still know it — resolve (or fail) lazily then.
+                resolved.append(None)
+        object.__setattr__(self, "_predicates", tuple(resolved))
 
     def __len__(self) -> int:
         return len(self.features)
+
+    def _bound_predicates(self, registry: Optional[MetricRegistry]):
+        if registry is None or registry is self.registry:
+            if None in self._predicates:
+                return tuple(
+                    self.registry.resolve(operator_name)
+                    for _, _, operator_name in self.features
+                )
+            return self._predicates
+        return tuple(
+            registry.resolve(operator_name)
+            for _, _, operator_name in self.features
+        )
 
     def compare(
         self,
         left_row: Row,
         right_row: Row,
-        registry: MetricRegistry = DEFAULT_REGISTRY,
+        registry: Optional[MetricRegistry] = None,
     ) -> Tuple[bool, ...]:
         """The agreement vector of the two rows under this spec."""
-        results: List[bool] = []
-        for left_attr, right_attr, operator_name in self.features:
-            predicate = registry.resolve(operator_name)
-            results.append(
-                bool(predicate(left_row[left_attr], right_row[right_attr]))
+        return tuple(
+            bool(predicate(left_row[left_attr], right_row[right_attr]))
+            for (left_attr, right_attr, _), predicate in zip(
+                self.features, self._bound_predicates(registry)
             )
-        return tuple(results)
+        )
 
     def agrees_on_all(
         self,
         left_row: Row,
         right_row: Row,
-        registry: MetricRegistry = DEFAULT_REGISTRY,
+        registry: Optional[MetricRegistry] = None,
     ) -> bool:
         """True when every feature agrees (short-circuiting).
 
         This is exactly "the pair matches the LHS of the key".
         """
-        for left_attr, right_attr, operator_name in self.features:
-            predicate = registry.resolve(operator_name)
+        for (left_attr, right_attr, _), predicate in zip(
+            self.features, self._bound_predicates(registry)
+        ):
             if not predicate(left_row[left_attr], right_row[right_attr]):
                 return False
         return True

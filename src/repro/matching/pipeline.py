@@ -3,8 +3,10 @@
 The paper positions MDs/RCKs as a compile-time facility that existing
 matchers plug in.  This module packages the full flow for downstream users:
 
-1. deduce RCKs from domain MDs (``findRCKs``);
-2. generate candidate pairs by windowing or blocking on RCK attributes;
+1. compile the rules once into an :class:`~repro.plan.compile.EnforcementPlan`
+   (deduced RCKs, deduplicated predicates, resolved metrics, a blocking
+   backend — see :mod:`repro.plan`);
+2. generate candidate pairs through the plan's blocking backend;
 3. decide matches either
 
    * *directly*: a pair matches when some RCK's comparisons all agree
@@ -18,9 +20,10 @@ matchers plug in.  This module packages the full flow for downstream users:
 Both matchers are *batch*: each run re-blocks, re-compares and re-enforces
 the full instance from scratch.  For online workloads — records arriving
 one at a time or in micro-batches against a warm instance — use
-:mod:`repro.engine`, which keeps per-RCK inverted indexes and identity
-clusters incrementally and only ever evaluates the delta, while reaching
-the same clusters as :class:`EnforcementMatcher` on the same data.
+:mod:`repro.engine`, which executes the *same* compiled plan over per-record
+deltas; driving both matchers through one shared plan is exactly how the
+batch/streaming equivalence suite pins their agreement
+(``tests/plan/test_batch_stream_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -28,17 +31,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.findrcks import find_rcks
 from repro.core.md import MatchingDependency
 from repro.core.rck import RelativeKey
 from repro.core.schema import ComparableLists
-from repro.core.semantics import InstancePair, enforce
+from repro.core.semantics import InstancePair
 from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from repro.plan.compile import EnforcementPlan, compile_plan
 from repro.relations.relation import Relation
 
 from .evaluate import Pair
-from .rules import RuleSet, rules_from_rcks
-from .windowing import rck_sort_keys, window_pairs
 
 
 @dataclass(frozen=True)
@@ -50,7 +51,7 @@ class PipelineResult:
 
 
 class RCKMatcher:
-    """Direct rule matching with deduced RCKs.
+    """Direct rule matching with deduced RCKs, executed via a compiled plan.
 
     >>> # matcher = RCKMatcher.from_mds(sigma, target, top_k=5)
     >>> # result = matcher.match(credit, billing)
@@ -58,16 +59,23 @@ class RCKMatcher:
 
     def __init__(
         self,
-        rcks: Sequence[RelativeKey],
+        rcks: Sequence[RelativeKey] = (),
         window: int = 10,
         registry: MetricRegistry = DEFAULT_REGISTRY,
+        plan: Optional[EnforcementPlan] = None,
     ) -> None:
-        if not rcks:
-            raise ValueError("need at least one RCK")
-        self.rcks = list(rcks)
-        self.rules: RuleSet = rules_from_rcks(self.rcks)
+        if plan is None:
+            if not rcks:
+                raise ValueError("need at least one RCK")
+            plan = compile_plan(
+                rcks=rcks, registry=registry, window=window
+            )
+        elif not plan.keys:
+            raise ValueError("the given plan was compiled without RCKs")
+        self.plan = plan
+        self.rcks = list(plan.rcks)
         self.window = window
-        self.registry = registry
+        self.registry = plan.registry
 
     @classmethod
     def from_mds(
@@ -78,16 +86,17 @@ class RCKMatcher:
         window: int = 10,
         registry: MetricRegistry = DEFAULT_REGISTRY,
     ) -> "RCKMatcher":
-        """Deduce ``top_k`` RCKs from Σ and build the matcher."""
-        rcks = find_rcks(sigma, target, m=top_k)
-        return cls(rcks, window=window, registry=registry)
+        """Deduce ``top_k`` RCKs from Σ and compile the matcher's plan."""
+        plan = compile_plan(
+            sigma, target, top_k=top_k, window=window, registry=registry
+        )
+        return cls(plan=plan, window=window)
 
     def candidate_pairs(
         self, left: Relation, right: Relation
     ) -> List[Pair]:
-        """Windowing candidates sorted on RCK attributes."""
-        left_key, right_key = rck_sort_keys(self.rcks)
-        return window_pairs(left, right, left_key, right_key, self.window)
+        """Candidates from the plan's blocking backend."""
+        return self.plan.candidates(left, right)
 
     def match(
         self,
@@ -98,10 +107,12 @@ class RCKMatcher:
         """Match: any RCK whose comparisons all agree declares a match."""
         if candidates is None:
             candidates = self.candidate_pairs(left, right)
+        plan = self.plan
+        plan.stats.pairs_compared += len(candidates)
         matches = [
             (left_tid, right_tid)
             for left_tid, right_tid in candidates
-            if self.rules.matches(left[left_tid], right[right_tid], self.registry)
+            if plan.matches_any_key(left[left_tid], right[right_tid])
         ]
         return PipelineResult(tuple(matches), tuple(candidates))
 
@@ -112,31 +123,44 @@ class EnforcementMatcher:
     Enforcement can identify pairs that no direct rule matches: updates by
     one MD enable the LHS of another (dynamic semantics).  More expensive
     than :class:`RCKMatcher` — candidate generation should narrow the pair
-    space first.
+    space first.  The chase runs through the compiled plan's kernel
+    (:meth:`~repro.plan.compile.EnforcementPlan.enforce`), sharing
+    predicate dedup and the similarity cache across runs.
     """
 
     def __init__(
         self,
-        sigma: Sequence[MatchingDependency],
-        target: ComparableLists,
+        sigma: Sequence[MatchingDependency] = (),
+        target: Optional[ComparableLists] = None,
         window: int = 10,
         registry: MetricRegistry = DEFAULT_REGISTRY,
+        plan: Optional[EnforcementPlan] = None,
     ) -> None:
-        if not sigma:
-            raise ValueError("need at least one MD")
-        self.sigma = list(sigma)
-        self.target = target
+        if plan is None:
+            if not sigma:
+                raise ValueError("need at least one MD")
+            if target is None:
+                raise ValueError("need a match target")
+            # RCKs drive candidate generation even for the enforcement
+            # matcher; compile_plan deduces them from Σ.
+            plan = compile_plan(
+                sigma, target, top_k=5, window=window, registry=registry
+            )
+        elif not plan.sigma:
+            raise ValueError("the given plan was compiled without MDs")
+        elif plan.target is None:
+            raise ValueError("the given plan was compiled without a target")
+        self.plan = plan
+        self.sigma = list(plan.sigma)
+        self.target = plan.target
         self.window = window
-        self.registry = registry
-        # RCKs drive candidate generation even for the enforcement matcher.
-        self._rcks = find_rcks(self.sigma, target, m=5)
+        self.registry = plan.registry
 
     def candidate_pairs(
         self, left: Relation, right: Relation
     ) -> List[Pair]:
-        """Windowing candidates sorted on deduced-RCK attributes."""
-        left_key, right_key = rck_sort_keys(self._rcks)
-        return window_pairs(left, right, left_key, right_key, self.window)
+        """Candidates from the plan's blocking backend."""
+        return self.plan.candidates(left, right)
 
     def match(
         self,
@@ -148,12 +172,7 @@ class EnforcementMatcher:
         if candidates is None:
             candidates = self.candidate_pairs(left, right)
         instance = InstancePair(self.target.pair, left, right)
-        result = enforce(
-            instance,
-            self.sigma,
-            registry=self.registry,
-            candidate_pairs=list(candidates),
-        )
+        result = self.plan.enforce(instance, candidate_pairs=list(candidates))
         target_pairs = self.target.attribute_pairs()
         matches = [
             (left_tid, right_tid)

@@ -5,64 +5,36 @@ using a key, and then comparing the tuples using a sliding window of a
 fixed size, such that only tuples within the same window are compared"
 (Section 1, after [20]).
 
-For cross-relation matching the two relations are merged into one sorted
-sequence (each element tagged with its side); a window of size ``w`` slides
-over the sequence and every cross-side pair inside the window becomes a
-candidate.  Multi-pass windowing unions candidates over several sort keys.
+The merge-and-slide loop itself lives in the enforcement kernel
+(:mod:`repro.plan.blocking`, :func:`~repro.plan.blocking.window_candidates`)
+so batch pipelines and plan blocking backends share one implementation;
+this module re-exports it under its historical names.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Set, Tuple
 
-from repro.core.rck import RelativeKey
+from repro.plan.blocking import (
+    RowKey,
+    attribute_key,
+    rck_sort_keys,
+    window_candidates,
+)
 from repro.relations.relation import Relation
 
-from .blocking import RowKey, attribute_key
 from .evaluate import Pair
 
-#: Sides in the merged sequence.
-_LEFT = 0
-_RIGHT = 1
+__all__ = [
+    "attribute_key",
+    "multi_pass_window_pairs",
+    "rck_sort_keys",
+    "window_pairs",
+]
 
-
-def window_pairs(
-    left: Relation,
-    right: Relation,
-    left_key: RowKey,
-    right_key: RowKey,
-    window: int = 10,
-) -> List[Pair]:
-    """Candidate pairs from one sorted-neighborhood pass.
-
-    The merged sequence is sorted by the derived key (ties broken by side
-    then tuple id, keeping runs deterministic); every pair of a left and a
-    right tuple at distance < ``window`` in the sorted order is a
-    candidate.
-
-    >>> # window=1 yields no pairs: no two elements share a window
-    """
-    if window < 2:
-        return []
-    merged: List[Tuple[object, int, int]] = []
-    for row in left:
-        merged.append((left_key(row), _LEFT, row.tid))
-    for row in right:
-        merged.append((right_key(row), _RIGHT, row.tid))
-    merged.sort(key=lambda item: (item[0], item[1], item[2]))
-
-    candidates: Set[Pair] = set()
-    for position, (_, side, tid) in enumerate(merged):
-        upper = min(len(merged), position + window)
-        for other_position in range(position + 1, upper):
-            _, other_side, other_tid = merged[other_position]
-            if side == other_side:
-                continue
-            if side == _LEFT:
-                candidates.add((tid, other_tid))
-            else:
-                candidates.add((other_tid, tid))
-    return sorted(candidates)
+#: One sorted-neighborhood pass — see
+#: :func:`repro.plan.blocking.window_candidates`.
+window_pairs = window_candidates
 
 
 def multi_pass_window_pairs(
@@ -74,31 +46,5 @@ def multi_pass_window_pairs(
     """Union of window candidates over several sort keys."""
     seen: Set[Pair] = set()
     for left_key, right_key in keys:
-        seen.update(window_pairs(left, right, left_key, right_key, window))
+        seen.update(window_candidates(left, right, left_key, right_key, window))
     return sorted(seen)
-
-
-def rck_sort_keys(
-    rcks: Sequence[RelativeKey],
-    attribute_count: int = 3,
-) -> Tuple[RowKey, RowKey]:
-    """Sort keys from the first attributes of the given RCKs.
-
-    The derived key concatenates the first ``attribute_count`` distinct
-    attribute pairs of the RCK list — "(part of) RCKs suffice to serve as
-    quality sorting keys" (Section 1, Windowing).
-    """
-    if not rcks:
-        raise ValueError("need at least one RCK")
-    chosen: List[Tuple[str, str]] = []
-    for key in rcks:
-        for pair in key.attribute_pairs():
-            if pair not in chosen:
-                chosen.append(pair)
-            if len(chosen) == attribute_count:
-                break
-        if len(chosen) == attribute_count:
-            break
-    left_attrs = [left_attr for left_attr, _ in chosen]
-    right_attrs = [right_attr for _, right_attr in chosen]
-    return attribute_key(left_attrs), attribute_key(right_attrs)

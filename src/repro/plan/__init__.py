@@ -1,0 +1,75 @@
+"""The enforcement kernel: compile rules once, execute them everywhere.
+
+MDs and RCKs are declarative; this package lowers a rule set into one
+executable :class:`~repro.plan.compile.EnforcementPlan` — deduplicated
+comparison predicates with metrics resolved at compile time, a value-keyed
+similarity memo cache, a pluggable blocking backend, and the single
+enforcement-chase loop (:mod:`repro.plan.executor`) — shared by the batch
+matchers (:mod:`repro.matching.pipeline`), the streaming engine
+(:mod:`repro.engine`), the experiments, and the CLI
+(``repro plan explain``).
+
+Layering: :mod:`repro.plan` depends only on ``core``, ``metrics`` and
+``relations``; the matching and engine layers depend on it, never the
+other way around (``repro.core.semantics.enforce`` delegates to the
+kernel through a deliberate lazy import).
+
+Typical use::
+
+    from repro.plan import compile_plan
+
+    plan = compile_plan(sigma, target, top_k=5)
+    pairs = plan.candidates(credit, billing)
+    result = plan.enforce(instance, candidate_pairs=pairs)
+    print(plan.stats.metric_evaluations, plan.stats.cache_hits)
+"""
+
+from .blocking import (
+    DEFAULT_ENCODED_ATTRIBUTES,
+    BlockingBackend,
+    HashBlockingBackend,
+    Pair,
+    RCKIndex,
+    RowKey,
+    SortedNeighborhoodBackend,
+    attribute_key,
+    hash_candidates,
+    indexes_from_rcks,
+    leading_attribute_pairs,
+    rck_sort_keys,
+    window_candidates,
+)
+from .compile import (
+    DEFAULT_CACHE_LIMIT,
+    CompiledKey,
+    CompiledPredicate,
+    CompiledRule,
+    EnforcementPlan,
+    PlanStats,
+    compile_plan,
+)
+from .executor import chase
+
+__all__ = [
+    "BlockingBackend",
+    "CompiledKey",
+    "CompiledPredicate",
+    "CompiledRule",
+    "DEFAULT_CACHE_LIMIT",
+    "DEFAULT_ENCODED_ATTRIBUTES",
+    "EnforcementPlan",
+    "HashBlockingBackend",
+    "Pair",
+    "PlanStats",
+    "RCKIndex",
+    "RowKey",
+    "SortedNeighborhoodBackend",
+    "attribute_key",
+    "chase",
+    "compile_plan",
+    "hash_candidates",
+    "indexes_from_rcks",
+    "leading_attribute_pairs",
+    "rck_sort_keys",
+    "window_candidates",
+]

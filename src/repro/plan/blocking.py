@@ -1,0 +1,427 @@
+"""Candidate generation for the enforcement kernel: the blocking layer.
+
+Every matcher needs a candidate-pair generator before it compares anything;
+the paper names two families (Section 1): *blocking* — partition by a
+derived key, compare within blocks — and *windowing* — sort by a key and
+slide a fixed window.  This module is the single home of both, exposed
+behind the :class:`BlockingBackend` protocol so a compiled
+:class:`~repro.plan.compile.EnforcementPlan` can carry its candidate
+generator as a pluggable component:
+
+* the key-derivation primitives (:func:`attribute_key`,
+  :func:`rck_sort_keys`) and the window-merge loop
+  (:func:`window_candidates`), which :mod:`repro.matching.blocking` and
+  :mod:`repro.matching.windowing` re-export;
+* :class:`RCKIndex` — the incremental inverted index formerly in
+  ``repro.engine.indexes``, one bucket table per RCK-derived key;
+* :class:`HashBlockingBackend` — multi-pass hash blocking over RCK
+  indexes, serving batch candidate generation *and* the streaming
+  engine's per-record ``add``/``probe``;
+* :class:`SortedNeighborhoodBackend` — multi-pass sorted-neighborhood
+  windowing over RCK sort keys.
+
+Batch and streaming thereby share one blocking implementation: probing an
+index with a new record yields exactly the pairs a batch
+``candidates(left, right)`` call over the same keys would have generated
+for it.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.rck import RelativeKey
+from repro.core.schema import LEFT
+from repro.metrics.soundex import soundex
+from repro.relations.relation import Relation, Row
+
+#: A candidate pair: (left tuple id, right tuple id).
+Pair = Tuple[int, int]
+
+#: Derives a blocking/sorting key from a row.
+RowKey = Callable[[Row], object]
+
+#: Per-attribute value encoders applied before keying.
+Encoder = Callable[[str], str]
+
+#: Attributes Soundex-encoded by default (the schemas' name attributes).
+DEFAULT_ENCODED_ATTRIBUTES = ("FN", "LN")
+
+#: Sides in a merged window sequence.
+_LEFT = 0
+_RIGHT = 1
+
+
+def _encode(value: object, encoder: Optional[Encoder]) -> str:
+    text = "" if value is None else str(value)
+    return encoder(text) if encoder is not None else text
+
+
+def attribute_key(
+    attributes: Sequence[str],
+    encoders: Optional[Sequence[Optional[Encoder]]] = None,
+) -> RowKey:
+    """A key function concatenating (encoded) attribute values.
+
+    ``encoders[i]`` (when given) transforms the i-th attribute's value —
+    e.g. :func:`~repro.metrics.soundex.soundex` for names.
+
+    >>> key = attribute_key(["LN"], [soundex])
+    >>> # rows with phonetically equal last names collide
+    """
+    if encoders is not None and len(encoders) != len(attributes):
+        raise ValueError("encoders must align with attributes")
+
+    def derive(row: Row) -> Tuple[str, ...]:
+        return tuple(
+            _encode(row[attribute], encoders[index] if encoders else None)
+            for index, attribute in enumerate(attributes)
+        )
+
+    return derive
+
+
+def leading_attribute_pairs(
+    rcks: Sequence[RelativeKey],
+    attribute_count: int = 3,
+) -> List[Tuple[str, str]]:
+    """The first ``attribute_count`` distinct attribute pairs of the RCKs.
+
+    The shared selection rule behind every RCK-derived key recipe —
+    sort keys, blocking keys, Exp-4's "three attributes in top two RCKs".
+    Returns fewer pairs when the RCKs don't provide enough; callers that
+    need an exact count must check.
+    """
+    chosen: List[Tuple[str, str]] = []
+    for key in rcks:
+        for pair in key.attribute_pairs():
+            if pair not in chosen:
+                chosen.append(pair)
+            if len(chosen) == attribute_count:
+                return chosen
+    return chosen
+
+
+def rck_sort_keys(
+    rcks: Sequence[RelativeKey],
+    attribute_count: int = 3,
+) -> Tuple[RowKey, RowKey]:
+    """Sort keys from the first attributes of the given RCKs.
+
+    The derived key concatenates the first ``attribute_count`` distinct
+    attribute pairs of the RCK list — "(part of) RCKs suffice to serve as
+    quality sorting keys" (Section 1, Windowing).
+    """
+    if not rcks:
+        raise ValueError("need at least one RCK")
+    chosen = leading_attribute_pairs(rcks, attribute_count)
+    left_attrs = [left_attr for left_attr, _ in chosen]
+    right_attrs = [right_attr for _, right_attr in chosen]
+    return attribute_key(left_attrs), attribute_key(right_attrs)
+
+
+def hash_candidates(
+    left: Relation,
+    right: Relation,
+    left_key: RowKey,
+    right_key: RowKey,
+) -> List[Pair]:
+    """Candidate pairs: all cross-relation pairs sharing a block key."""
+    buckets: Dict[Hashable, List[int]] = {}
+    for row in left:
+        buckets.setdefault(left_key(row), []).append(row.tid)
+    candidates: List[Pair] = []
+    for right_row in right:
+        for left_tid in buckets.get(right_key(right_row), ()):
+            candidates.append((left_tid, right_row.tid))
+    return candidates
+
+
+def window_candidates(
+    left: Relation,
+    right: Relation,
+    left_key: RowKey,
+    right_key: RowKey,
+    window: int = 10,
+) -> List[Pair]:
+    """Candidate pairs from one sorted-neighborhood pass.
+
+    The merged sequence is sorted by the derived key (ties broken by side
+    then tuple id, keeping runs deterministic); every pair of a left and a
+    right tuple at distance < ``window`` in the sorted order is a
+    candidate.
+
+    >>> # window=1 yields no pairs: no two elements share a window
+    """
+    if window < 2:
+        return []
+    merged: List[Tuple[object, int, int]] = []
+    for row in left:
+        merged.append((left_key(row), _LEFT, row.tid))
+    for row in right:
+        merged.append((right_key(row), _RIGHT, row.tid))
+    merged.sort(key=lambda item: (item[0], item[1], item[2]))
+
+    candidates: Set[Pair] = set()
+    for position, (_, side, tid) in enumerate(merged):
+        upper = min(len(merged), position + window)
+        for other_position in range(position + 1, upper):
+            _, other_side, other_tid = merged[other_position]
+            if side == other_side:
+                continue
+            if side == _LEFT:
+                candidates.add((tid, other_tid))
+            else:
+                candidates.add((other_tid, tid))
+    return sorted(candidates)
+
+
+class RCKIndex:
+    """One inverted index: RCK blocking key → posting lists per side.
+
+    >>> from repro.core.schema import RelationSchema
+    >>> from repro.relations.relation import Relation
+    >>> schema = RelationSchema("R", ["LN", "zip"])
+    >>> index = RCKIndex("ln", [("LN", "LN")])
+    >>> relation = Relation(schema)
+    >>> tid = relation.insert({"LN": "Clifford", "zip": "07974"})
+    >>> index.add(LEFT, relation[tid])
+    ('C416',)
+    >>> other = relation.insert({"LN": "Clivord", "zip": "07974"})
+    >>> index.probe(1, relation[other])  # right-side probe hits the left row
+    [0]
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pairs: Sequence[Tuple[str, str]],
+        encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+    ) -> None:
+        if not pairs:
+            raise ValueError("an index needs at least one attribute pair")
+        self.name = name
+        self.pairs: Tuple[Tuple[str, str], ...] = tuple(pairs)
+        encode = set(encode_attributes)
+        left_attrs = [left for left, _ in self.pairs]
+        right_attrs = [right for _, right in self.pairs]
+        self.left_key: RowKey = attribute_key(
+            left_attrs,
+            [soundex if attr in encode else None for attr in left_attrs],
+        )
+        self.right_key: RowKey = attribute_key(
+            right_attrs,
+            [soundex if attr in encode else None for attr in right_attrs],
+        )
+        self._buckets: Dict[Hashable, Tuple[List[int], List[int]]] = {}
+
+    def key_for(self, side: int, row: Row) -> Hashable:
+        """The derived blocking key of ``row`` on the given side."""
+        return self.left_key(row) if side == LEFT else self.right_key(row)
+
+    def add(self, side: int, row: Row) -> Hashable:
+        """Index ``row``; returns the bucket key it landed in."""
+        key = self.key_for(side, row)
+        bucket = self._buckets.setdefault(key, ([], []))
+        bucket[0 if side == LEFT else 1].append(row.tid)
+        return key
+
+    def probe(self, side: int, row: Row) -> List[int]:
+        """Tuple ids of the *other* side sharing ``row``'s bucket."""
+        bucket = self._buckets.get(self.key_for(side, row))
+        if bucket is None:
+            return []
+        return list(bucket[1 if side == LEFT else 0])
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def largest_bucket(self) -> int:
+        """Size of the fullest bucket (both sides counted)."""
+        if not self._buckets:
+            return 0
+        return max(len(lefts) + len(rights) for lefts, rights in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RCKIndex({self.name!r}, {len(self)} buckets)"
+
+
+def indexes_from_rcks(
+    rcks: Sequence[RelativeKey],
+    key_length: int = 1,
+    encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+) -> List[RCKIndex]:
+    """One inverted index per RCK, deduplicated by key specification.
+
+    Each index takes the leading ``key_length`` attribute pairs of its RCK
+    (short keys favour recall: a duplicate only needs to agree on one
+    leading pair of *some* RCK to be probed).  RCKs whose leading pairs
+    coincide share one index.
+    """
+    if not rcks:
+        raise ValueError("need at least one RCK")
+    if key_length < 1:
+        raise ValueError(f"key_length must be >= 1, got {key_length}")
+    indexes: List[RCKIndex] = []
+    seen: set = set()
+    for position, key in enumerate(rcks):
+        pairs = key.attribute_pairs()[:key_length]
+        if pairs in seen:
+            continue
+        seen.add(pairs)
+        name = f"rck{position}:" + "+".join(left for left, _ in pairs)
+        indexes.append(RCKIndex(name, pairs, encode_attributes))
+    return indexes
+
+
+class BlockingBackend:
+    """Protocol for a plan's candidate-pair generator.
+
+    Implementations provide ``name`` plus :meth:`candidates` (batch) and
+    :meth:`describe` (for ``repro plan explain``).  Backends that also
+    support incremental maintenance additionally expose ``add``/``probe``
+    (see :class:`HashBlockingBackend`).
+    """
+
+    name: str = "none"
+
+    def candidates(self, left: Relation, right: Relation) -> List[Pair]:
+        """All candidate pairs for a batch instance pair."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human description of the backend configuration."""
+        raise NotImplementedError
+
+
+class HashBlockingBackend(BlockingBackend):
+    """Multi-pass hash blocking over per-RCK inverted indexes.
+
+    The same index structures serve two access patterns:
+
+    * **batch** — :meth:`candidates` unions, over every index, the
+      cross-relation pairs sharing a bucket (the classic multi-pass
+      blocking of Section 1);
+    * **streaming** — :meth:`add` maintains the postings on every ingest
+      and :meth:`probe` returns a record's candidate neighborhood, which
+      is exactly the pair set a batch run over the same keys would have
+      generated for it.
+    """
+
+    name = "hash"
+
+    def __init__(self, indexes: Sequence[RCKIndex]) -> None:
+        if not indexes:
+            raise ValueError("hash blocking needs at least one index")
+        self.indexes: List[RCKIndex] = list(indexes)
+
+    @classmethod
+    def per_rck(
+        cls,
+        rcks: Sequence[RelativeKey],
+        key_length: int = 1,
+        encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+    ) -> "HashBlockingBackend":
+        """One index per RCK's leading ``key_length`` attribute pairs."""
+        return cls(indexes_from_rcks(rcks, key_length, encode_attributes))
+
+    # -- batch ---------------------------------------------------------
+
+    def candidates(self, left: Relation, right: Relation) -> List[Pair]:
+        """Union of hash-blocking candidates over every index's keys.
+
+        Runs on transient bucket tables — the incremental postings of a
+        live store are never touched or rebuilt.
+        """
+        seen: Set[Pair] = set()
+        for index in self.indexes:
+            seen.update(
+                hash_candidates(left, right, index.left_key, index.right_key)
+            )
+        return sorted(seen)
+
+    # -- streaming -----------------------------------------------------
+
+    def add(self, side: int, row: Row) -> None:
+        """Index one arriving record in every pass."""
+        for index in self.indexes:
+            index.add(side, row)
+
+    def probe(self, side: int, row: Row) -> List[int]:
+        """Other-side tuple ids sharing at least one bucket with ``row``."""
+        seen: Set[int] = set()
+        for index in self.indexes:
+            seen.update(index.probe(side, row))
+        return sorted(seen)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            "+".join(f"{left}~{right}" for left, right in index.pairs)
+            for index in self.indexes
+        )
+        return f"hash({len(self.indexes)} passes: {keys})"
+
+
+class SortedNeighborhoodBackend(BlockingBackend):
+    """Multi-pass sorted-neighborhood windowing over derived sort keys.
+
+    A window below 2 is legal and yields no candidates — no two elements
+    ever share a window — matching the historical ``window_pairs``
+    behavior matchers rely on.
+    """
+
+    name = "sorted-neighborhood"
+
+    def __init__(
+        self,
+        keys: Sequence[Tuple[RowKey, RowKey]],
+        window: int = 10,
+        description: str = "",
+    ) -> None:
+        if not keys:
+            raise ValueError("windowing needs at least one sort key pair")
+        self.keys: List[Tuple[RowKey, RowKey]] = list(keys)
+        self.window = window
+        self._description = description
+
+    @classmethod
+    def from_rcks(
+        cls,
+        rcks: Sequence[RelativeKey],
+        window: int = 10,
+        attribute_count: int = 3,
+    ) -> "SortedNeighborhoodBackend":
+        """One sort pass on the leading attributes of the given RCKs."""
+        if not rcks:
+            raise ValueError("need at least one RCK")
+        chosen = leading_attribute_pairs(rcks, attribute_count)
+        left_key = attribute_key([left for left, _ in chosen])
+        right_key = attribute_key([right for _, right in chosen])
+        description = "+".join(f"{left}~{right}" for left, right in chosen)
+        return cls([(left_key, right_key)], window, description)
+
+    def candidates(self, left: Relation, right: Relation) -> List[Pair]:
+        """Union of window candidates over every sort pass."""
+        seen: Set[Pair] = set()
+        for left_key, right_key in self.keys:
+            seen.update(
+                window_candidates(left, right, left_key, right_key, self.window)
+            )
+        return sorted(seen)
+
+    def describe(self) -> str:
+        detail = f" on {self._description}" if self._description else ""
+        return (
+            f"sorted-neighborhood(window={self.window}, "
+            f"{len(self.keys)} pass(es){detail})"
+        )

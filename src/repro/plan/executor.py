@@ -1,0 +1,158 @@
+"""The enforcement chase, executed over a compiled plan.
+
+This is the one and only chase loop in the codebase.  It is the former
+:func:`repro.core.semantics.enforce` body, re-targeted from
+``(MD, registry)`` lookups to the compiled rules of an
+:class:`~repro.plan.compile.EnforcementPlan`: every LHS conjunct is a
+pre-resolved predicate evaluated through the plan's similarity cache, so
+repeated chase rounds (and rules sharing atoms) never recompute a metric
+on the same value pair.
+
+``repro.core.semantics.enforce`` compiles a throwaway plan and delegates
+here; the batch :class:`~repro.matching.pipeline.EnforcementMatcher` and
+the streaming :class:`~repro.engine.matcher.IncrementalMatcher` hold a
+long-lived plan and call :meth:`EnforcementPlan.enforce`, sharing the
+cache across runs and ingests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.semantics import (
+    Cell,
+    EnforcementResult,
+    InstancePair,
+    ValueResolver,
+    _CellUnionFind,
+    _cell_value,
+    prefer_informative,
+)
+from repro.core.schema import LEFT, RIGHT
+
+
+def chase(
+    plan,
+    instance: InstancePair,
+    resolver: ValueResolver = prefer_informative,
+    candidate_pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    max_rounds: int = 100,
+) -> EnforcementResult:
+    """Chase ``instance`` with the plan's compiled rules to a stable extension.
+
+    Each round scans the candidate tuple pairs; whenever a pair matches a
+    rule's LHS in the *current* instance, the RHS cells are merged and every
+    merged class is re-resolved to a single value.  Rounds repeat until no
+    merge happens.  The original ``instance`` is never mutated (the paper:
+    "in the matching process instance D may not be updated").
+
+    Two kernel refinements over the naive loop, neither observable in the
+    result: rounds after the first only re-scan pairs at least one of
+    whose tuples a consensus repair actually changed (an unchanged pair's
+    LHS verdict cannot change and its RHS cells are already merged), and
+    the final stability check evaluates each rule's LHS once through the
+    compiled predicates instead of twice per (pair, rule) through the
+    registry.
+
+    ``candidate_pairs`` bounds the quadratic pair scan; matchers pass the
+    output of the plan's blocking backend here.
+    """
+    working = instance.copy()
+    cells = _CellUnionFind()
+    pairs: List[Tuple[int, int]] = (
+        list(candidate_pairs)
+        if candidate_pairs is not None
+        else list(instance.tuple_pairs())
+    )
+    stats = plan.stats
+    stats.enforcements += 1
+    stats.pairs_compared += len(pairs)
+
+    applications = 0
+    rounds = 0
+    shared = working.left is working.right
+    active = pairs
+    while rounds < max_rounds:
+        rounds += 1
+        merged_this_round = False
+        for left_tid, right_tid in active:
+            t1 = working.left[left_tid]
+            t2 = working.right[right_tid]
+            for rule in plan.rules:
+                if not plan.lhs_matches(rule, t1, t2):
+                    continue
+                for left_attr, right_attr in rule.rhs:
+                    left_cell: Cell = (LEFT, left_tid, left_attr)
+                    right_cell: Cell = (RIGHT, right_tid, right_attr)
+                    if cells.union(left_cell, right_cell):
+                        merged_this_round = True
+                        applications += 1
+        if not merged_this_round:
+            break
+        # Re-resolve every merged class to one value, tracking which
+        # tuples a write actually changed — only their pairs can behave
+        # differently next round.
+        changed: Set[Tuple[int, int]] = set()
+        seen_roots: Set[Cell] = set()
+        for left_tid, right_tid in pairs:
+            for side, tid in ((LEFT, left_tid), (RIGHT, right_tid)):
+                relation = working.left if side == LEFT else working.right
+                for attribute in relation.schema.attribute_names:
+                    cell: Cell = (side, tid, attribute)
+                    root = cells.find(cell)
+                    if root in seen_roots:
+                        continue
+                    seen_roots.add(root)
+                    members = cells.members(cell)
+                    if len(members) == 1:
+                        continue
+                    values = [
+                        _cell_value(working, member, shared)
+                        for member in members
+                    ]
+                    resolved = resolver(values)
+                    for member in members:
+                        member_side, member_tid, member_attr = member
+                        member_relation = (
+                            working.left if member_side == LEFT else working.right
+                        )
+                        if member_relation[member_tid][member_attr] != resolved:
+                            member_relation.set_value(
+                                member_tid, member_attr, resolved
+                            )
+                            changed.add((member_side, member_tid))
+                            if shared:
+                                # One storage serves both sides: a write
+                                # through either tag dirties the tuple's
+                                # pairs on both.
+                                changed.add(
+                                    (LEFT + RIGHT - member_side, member_tid)
+                                )
+        active = [
+            (left_tid, right_tid)
+            for left_tid, right_tid in pairs
+            if (LEFT, left_tid) in changed or (RIGHT, right_tid) in changed
+        ]
+
+    # Stability: (D', D') ⊨ Σ — for every pair matching a rule's LHS in
+    # D', the RHS cells must carry equal values.  (With original and
+    # extended both D', the "LHS still matches" recheck is the same
+    # evaluation, so one pass through the compiled predicates suffices.)
+    stable = True
+    for left_tid, right_tid in pairs:
+        t1 = working.left[left_tid]
+        t2 = working.right[right_tid]
+        for rule in plan.rules:
+            if not plan.lhs_matches(rule, t1, t2):
+                continue
+            for left_attr, right_attr in rule.rhs:
+                if t1[left_attr] != t2[right_attr]:
+                    stable = False
+                    break
+            if not stable:
+                break
+        if not stable:
+            break
+    stats.chase_rounds += rounds
+    stats.rule_applications += applications
+    return EnforcementResult(working, stable, rounds, cells, applications)

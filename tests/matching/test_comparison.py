@@ -9,6 +9,19 @@ from repro.matching.comparison import (
     spec_from_rck,
     union_of_rcks,
 )
+from repro.metrics.registry import default_registry
+
+
+class CountingRegistry:
+    """Wraps a registry, counting ``resolve`` calls."""
+
+    def __init__(self):
+        self._inner = default_registry()
+        self.resolve_calls = 0
+
+    def resolve(self, operator_name):
+        self.resolve_calls += 1
+        return self._inner.resolve(operator_name)
 
 
 class TestComparisonSpec:
@@ -37,6 +50,55 @@ class TestComparisonSpec:
     def test_attribute_pairs(self):
         spec = ComparisonSpec((("tel", "phn", "="),))
         assert spec.attribute_pairs() == (("tel", "phn"),)
+
+    def test_metrics_resolved_once_at_construction(self, fig1):
+        """Regression: evaluation must never re-resolve operator names.
+
+        The spec resolves its predicates exactly once per feature when
+        built; any number of ``compare``/``agrees_on_all`` calls keeps the
+        lookup count flat.
+        """
+        _, credit, billing = fig1
+        registry = CountingRegistry()
+        spec = ComparisonSpec(
+            (
+                ("LN", "LN", "="),
+                ("FN", "FN", "dl(0.8)"),
+                ("email", "email", "="),
+            ),
+            registry=registry,
+        )
+        assert registry.resolve_calls == 3
+        for _ in range(10):
+            spec.compare(credit[0], billing[0])
+            spec.agrees_on_all(credit[0], billing[0])
+        assert registry.resolve_calls == 3
+
+    def test_explicit_foreign_registry_still_honored(self, fig1):
+        """Passing a different registry at call time resolves through it."""
+        _, credit, billing = fig1
+        spec = ComparisonSpec((("LN", "LN", "="),))
+        other = CountingRegistry()
+        assert spec.agrees_on_all(credit[0], billing[0], other)
+        assert other.resolve_calls == 1
+
+    def test_unknown_operator_deferred_to_call_time(self, fig1):
+        """An operator the bound registry lacks must not break construction.
+
+        Custom-registry metrics are supplied at evaluation time
+        (Fellegi–Sunter, RuleSet); the spec resolves them lazily through
+        whichever registry the call provides.
+        """
+        _, credit, billing = fig1
+        spec = ComparisonSpec((("FN", "FN", "nope(0.5)"),))
+        with pytest.raises(KeyError, match="unknown metric"):
+            spec.compare(credit[0], billing[0])
+
+        class NopeRegistry:
+            def resolve(self, operator_name):
+                return lambda left, right: True
+
+        assert spec.agrees_on_all(credit[0], billing[0], NopeRegistry())
 
 
 class TestSpecBuilders:

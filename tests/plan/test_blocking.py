@@ -1,0 +1,89 @@
+"""Unit tests for the kernel's blocking backends."""
+
+import pytest
+
+from repro.core.findrcks import find_rcks
+from repro.core.schema import LEFT, RIGHT
+from repro.matching.blocking import multi_pass_block_pairs
+from repro.matching.windowing import window_pairs
+from repro.plan.blocking import (
+    HashBlockingBackend,
+    SortedNeighborhoodBackend,
+    rck_sort_keys,
+)
+
+
+@pytest.fixture
+def rcks(ext_sigma, ext_target):
+    return find_rcks(ext_sigma, ext_target, m=5)
+
+
+class TestHashBlockingBackend:
+    def test_requires_indexes(self):
+        with pytest.raises(ValueError, match="at least one index"):
+            HashBlockingBackend([])
+
+    def test_batch_candidates_match_multi_pass_blocking(
+        self, rcks, small_dataset
+    ):
+        backend = HashBlockingBackend.per_rck(rcks)
+        keys = [
+            (index.left_key, index.right_key) for index in backend.indexes
+        ]
+        expected = multi_pass_block_pairs(
+            small_dataset.credit, small_dataset.billing, keys
+        )
+        assert backend.candidates(
+            small_dataset.credit, small_dataset.billing
+        ) == expected
+
+    def test_incremental_probe_agrees_with_batch(self, rcks, small_dataset):
+        """add/probe yields exactly the pairs batch blocking generates."""
+        backend = HashBlockingBackend.per_rck(rcks)
+        credit, billing = small_dataset.credit, small_dataset.billing
+        for row in credit:
+            backend.add(LEFT, row)
+        batch = set(backend.candidates(credit, billing))
+        probed = {
+            (left_tid, row.tid)
+            for row in billing
+            for left_tid in backend.probe(RIGHT, row)
+        }
+        assert probed == batch
+
+    def test_batch_candidates_leave_postings_untouched(self, rcks, small_dataset):
+        backend = HashBlockingBackend.per_rck(rcks)
+        backend.candidates(small_dataset.credit, small_dataset.billing)
+        row = small_dataset.billing.rows()[0]
+        assert backend.probe(RIGHT, row) == []
+
+    def test_describe_names_keys(self, rcks):
+        assert "hash(" in HashBlockingBackend.per_rck(rcks).describe()
+
+
+class TestSortedNeighborhoodBackend:
+    def test_requires_keys(self):
+        with pytest.raises(ValueError, match="at least one sort key"):
+            SortedNeighborhoodBackend([])
+
+    def test_window_below_two_yields_no_candidates(self, rcks, small_dataset):
+        """Historical window_pairs behavior: w < 2 means no shared window."""
+        backend = SortedNeighborhoodBackend.from_rcks(rcks, window=1)
+        assert backend.candidates(
+            small_dataset.credit, small_dataset.billing
+        ) == []
+
+    def test_candidates_match_window_pairs(self, rcks, small_dataset):
+        backend = SortedNeighborhoodBackend.from_rcks(rcks, window=10)
+        left_key, right_key = rck_sort_keys(rcks)
+        expected = window_pairs(
+            small_dataset.credit, small_dataset.billing,
+            left_key, right_key, 10,
+        )
+        assert backend.candidates(
+            small_dataset.credit, small_dataset.billing
+        ) == expected
+
+    def test_describe_reports_window(self, rcks):
+        backend = SortedNeighborhoodBackend.from_rcks(rcks, window=4)
+        assert "window=4" in backend.describe()

@@ -199,6 +199,48 @@ class TestMatch:
         assert "WRONG" in capsys.readouterr().err
 
 
+class TestPlanExplain:
+    def test_explain_prints_compiled_plan(self, schema_file, md_file, capsys):
+        code = main(
+            ["plan", "explain", "--schema", str(schema_file),
+             "--mds", str(md_file)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "EnforcementPlan over (credit, billing)" in output
+        assert "unique predicate(s)" in output
+        assert "exact equality" in output
+        assert "DamerauLevenshtein >= 0.8" in output
+        assert "sorted-neighborhood(window=10" in output
+
+    def test_explain_hash_backend(self, schema_file, md_file, capsys):
+        code = main(
+            ["plan", "explain", "--schema", str(schema_file),
+             "--mds", str(md_file), "--backend", "hash"]
+        )
+        assert code == 0
+        assert "hash(" in capsys.readouterr().out
+
+    def test_explain_json(self, schema_file, md_file, capsys):
+        code = main(
+            ["plan", "explain", "--schema", str(schema_file),
+             "--mds", str(md_file), "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["unique_predicates"] < document["atoms_before_dedup"]
+        assert len(document["rules"]) == 3
+        assert document["keys"]
+
+    def test_explain_missing_schema(self, md_file, capsys):
+        code = main(
+            ["plan", "explain", "--schema", "/nope.json",
+             "--mds", str(md_file)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_demo_runs(self, capsys):
         assert main(["demo"]) == 0
