@@ -11,7 +11,6 @@ harsh models to document the calibration choice quantitatively.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.findrcks import find_rcks
 from repro.datagen.generator import generate_dataset

@@ -10,7 +10,8 @@ holder.  This example:
    other's cards);
 2. deduces RCKs from the 7 domain MDs, using instance statistics for the
    quality model;
-3. matches with the RCK pipeline (windowing + deduced keys);
+3. matches through a spec-driven Workspace (windowing + deduced keys,
+   execution mode 'direct');
 4. flags *suspicious* billing tuples: card number present in credit, but
    the person does NOT match the card's holder;
 5. reports precision/recall against the generator truth.
@@ -18,11 +19,11 @@ holder.  This example:
 Run:  python examples/fraud_detection.py
 """
 
+from repro.api import Workspace
 from repro.datagen.generator import generate_dataset
 from repro.datagen.schemas import extended_mds
 from repro.experiments.exp_fs import deduce_rcks
 from repro.matching.evaluate import evaluate_matches
-from repro.matching.pipeline import RCKMatcher
 
 
 def main() -> None:
@@ -40,8 +41,17 @@ def main() -> None:
     for key in rcks:
         print(f"  {key}")
 
-    matcher = RCKMatcher(rcks, window=10)
-    result = matcher.match(dataset.credit, dataset.billing)
+    workspace = (
+        Workspace.builder()
+        .pair(dataset.pair)
+        .target(dataset.target)
+        .mds(sigma)
+        .rcks(rcks)
+        .blocking("sorted-neighborhood", window=10)
+        .execution(mode="direct")
+        .workspace()
+    )
+    result = workspace.match(dataset.credit, dataset.billing)
     quality = evaluate_matches(result.matches, dataset.true_matches)
     print(
         f"\nHolder matching: {quality} "

@@ -24,8 +24,8 @@ from repro.discovery import (
     random_labelled_pairs,
     sample_labelled_pairs,
 )
+from repro.api import Workspace
 from repro.matching.evaluate import evaluate_matches
-from repro.matching.pipeline import RCKMatcher
 from repro.matching.rules import rules_from_rcks
 from repro.matching.windowing import attribute_key, window_pairs
 from repro.metrics.registry import default_registry
@@ -77,8 +77,16 @@ def main() -> None:
         print(f"  {rck}")
 
     fresh = generate_dataset(600, seed=77)
-    matcher = RCKMatcher(rcks)
-    result = matcher.match(fresh.credit, fresh.billing)
+    workspace = (
+        Workspace.builder()
+        .pair(dataset.pair)
+        .target(dataset.target)
+        .mds(sigma)
+        .rcks(rcks)
+        .execution(mode="direct")
+        .workspace()
+    )
+    result = workspace.match(fresh.credit, fresh.billing)
     quality = evaluate_matches(result.matches, fresh.true_matches)
     print(f"\nMatching fresh data with mined+deduced keys: {quality}")
 

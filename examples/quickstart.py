@@ -80,6 +80,32 @@ def main() -> None:
         "\nMD deduction (Example 1.1)."
     )
 
+    # ------------------------------------------------------------------
+    # 5. The same task, declaratively: one spec, every execution mode
+    # ------------------------------------------------------------------
+    from repro.api import Workspace
+
+    workspace = (
+        Workspace.builder()
+        .pair(pair)
+        .target(target)
+        .mds(sigma)
+        .execution(mode="enforce", top_k=6)
+        .workspace()
+    )
+    report = workspace.match(credit, billing)
+    print(
+        f"\nWorkspace (spec fingerprint {workspace.fingerprint}) matched "
+        f"{len(report.matches)} pair(s) via enforcement:"
+    )
+    for matched in report.matches:
+        rules = ", ".join(report.provenance.get(matched, ()))
+        print(f"  {matched}  [{rules}]")
+    print(
+        "The identical spec drives streaming (workspace.stream()) and the\n"
+        "CLI (repro match --spec spec.json) - see examples/spec.json."
+    )
+
 
 if __name__ == "__main__":
     main()

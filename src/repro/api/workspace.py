@@ -1,0 +1,395 @@
+"""The :class:`Workspace` façade: one spec, every execution strategy.
+
+A workspace is constructed from a :class:`~repro.api.spec.ResolutionSpec`
+(or its document / file) and is the single front door to the system:
+
+* :meth:`Workspace.deduce` — the RCKs the spec's rules yield;
+* :meth:`Workspace.match` — batch matching in the spec's execution mode
+  (``direct`` RCK agreement or ``enforce`` chase);
+* :meth:`Workspace.enforce` — the enforcement chase explicitly;
+* :meth:`Workspace.stream` — a spec-configured
+  :class:`~repro.engine.matcher.IncrementalMatcher` over the same plan;
+* :meth:`Workspace.explain` — the spec header plus the compiled plan.
+
+Everything compiles through the :mod:`repro.plan` kernel **exactly
+once** per workspace (observable via ``plan.stats.compiles``), and every
+batch entry point returns one result type, :class:`MatchReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.findrcks import find_rcks
+from repro.core.rck import RelativeKey
+from repro.core.semantics import InstancePair
+from repro.matching.clustering import Cluster, cluster_matches
+from repro.matching.evaluate import Pair
+from repro.plan.blocking import (
+    BlockingBackend,
+    HashBlockingBackend,
+    RCKIndex,
+    SortedNeighborhoodBackend,
+    leading_attribute_pairs,
+)
+from repro.plan.compile import EnforcementPlan, compile_plan
+from repro.relations.relation import Relation
+
+from .spec import ResolutionSpec, SpecError
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """The unified result of any spec-driven batch matching run.
+
+    Attributes
+    ----------
+    matches, candidates:
+        The declared matches and the candidate pairs they were drawn from.
+    clusters:
+        The matches consolidated into entity clusters (transitive closure).
+    provenance:
+        For each matched pair, the names of the compiled rules/keys that
+        justified it (``rck0``/``md1`` — the names ``plan explain`` prints).
+    stats:
+        A snapshot of the plan's cumulative :class:`~repro.plan.compile.PlanStats`
+        counters taken when the report was built (``compiles`` stays 1 for
+        a workspace's whole lifetime).
+    fingerprint:
+        The spec fingerprint the run executed under.
+    mode:
+        ``"direct"`` or ``"enforce"``.
+    """
+
+    matches: Tuple[Pair, ...]
+    candidates: Tuple[Pair, ...]
+    clusters: Tuple[Cluster, ...]
+    provenance: Mapping[Pair, Tuple[str, ...]]
+    stats: Mapping[str, int]
+    fingerprint: str
+    mode: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable rendering of the report."""
+        return {
+            "mode": self.mode,
+            "spec_fingerprint": self.fingerprint,
+            "matches": [list(pair) for pair in self.matches],
+            "candidate_count": len(self.candidates),
+            "clusters": [
+                {
+                    "left_tids": sorted(cluster.left_tids),
+                    "right_tids": sorted(cluster.right_tids),
+                }
+                for cluster in self.clusters
+            ],
+            "provenance": [
+                {"pair": list(pair), "rules": list(self.provenance[pair])}
+                for pair in self.matches
+                if pair in self.provenance
+            ],
+            "stats": dict(self.stats),
+        }
+
+
+class Workspace:
+    """A compiled, executable view of one :class:`ResolutionSpec`.
+
+    >>> from repro.api import Workspace
+    >>> workspace = (Workspace.builder()
+    ...     .schema("R", ["A", "B"], "S", ["A", "B"])
+    ...     .target(["A"], ["A"])
+    ...     .mds(["R[B] = S[B] -> R[A] <=> S[A]"])
+    ...     .workspace())
+    >>> len(workspace.deduce())
+    1
+    """
+
+    def __init__(self, spec) -> None:
+        if isinstance(spec, dict):
+            spec = ResolutionSpec.from_dict(spec)
+        if not isinstance(spec, ResolutionSpec):
+            raise TypeError(
+                "Workspace takes a ResolutionSpec or its document dict; "
+                f"got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self._plan: Optional[EnforcementPlan] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, document) -> "Workspace":
+        """A workspace from a raw spec document."""
+        return cls(ResolutionSpec.from_dict(document))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Workspace":
+        """A workspace from spec JSON text."""
+        return cls(ResolutionSpec.from_json(text))
+
+    @classmethod
+    def from_file(cls, path) -> "Workspace":
+        """A workspace from a spec JSON file."""
+        return cls(ResolutionSpec.from_file(path))
+
+    @staticmethod
+    def builder():
+        """A fluent :class:`~repro.api.spec.SpecBuilder`."""
+        from .spec import SpecBuilder
+
+        return SpecBuilder()
+
+    # ------------------------------------------------------------------
+    # The one compile
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """The spec's fingerprint (what snapshots embed)."""
+        return self.spec.fingerprint()
+
+    @property
+    def plan(self) -> EnforcementPlan:
+        """The spec compiled through the kernel — exactly once.
+
+        The first access parses the MDs, deduces (or adopts) the RCKs,
+        builds the blocking backend, and calls
+        :func:`repro.plan.compile.compile_plan`; every later access and
+        every execution mode reuses the same plan object, its predicate
+        table, and its similarity cache.
+        """
+        if self._plan is None:
+            spec = self.spec
+            pair = spec.schema_pair()
+            target = spec.target_lists(pair)
+            registry = spec.build_registry()
+            sigma = spec.parsed_mds(pair)
+            rcks = spec.explicit_rcks(target)
+            if rcks is None:
+                rcks = find_rcks(sigma, target, m=spec.top_k)
+            blocking = self._blocking_backend(rcks)
+            self._plan = compile_plan(
+                sigma,
+                target,
+                rcks=rcks,
+                registry=registry,
+                blocking=blocking,
+                window=spec.window,
+                cached=spec.cache,
+                cache_limit=spec.cache_limit,
+            )
+        return self._plan
+
+    def _blocking_backend(
+        self, rcks: Sequence[RelativeKey]
+    ) -> Optional[BlockingBackend]:
+        """The spec's blocking section realized as a kernel backend.
+
+        ``encode`` applies uniformly: the named attributes are
+        Soundex-encoded before keying in every backend, so the setting
+        always means something when it appears in the fingerprint.
+        ``key_length`` configures the hash backend (per-RCK index keys).
+        """
+        spec = self.spec
+        if spec.key_pairs is not None:
+            # An explicit derived key: one pass over the named attribute
+            # pairs, Soundex-encoding the attributes the spec asks for.
+            index = RCKIndex("spec", spec.key_pairs, spec.encode)
+            if spec.blocking_backend == "hash":
+                return HashBlockingBackend([index])
+            description = "+".join(left for left, _ in spec.key_pairs)
+            return SortedNeighborhoodBackend(
+                [(index.left_key, index.right_key)], spec.window, description
+            )
+        if not rcks:
+            return None
+        if spec.blocking_backend == "hash":
+            return HashBlockingBackend.per_rck(
+                rcks, spec.key_length, spec.encode
+            )
+        chosen = leading_attribute_pairs(rcks, attribute_count=3)
+        index = RCKIndex("spec-sn", chosen, spec.encode)
+        description = "+".join(f"{l}~{r}" for l, r in chosen)
+        return SortedNeighborhoodBackend(
+            [(index.left_key, index.right_key)], spec.window, description
+        )
+
+    # ------------------------------------------------------------------
+    # Execution modes
+    # ------------------------------------------------------------------
+
+    def deduce(self) -> Tuple[RelativeKey, ...]:
+        """The plan's relative candidate keys (deduced or pinned)."""
+        return self.plan.rcks
+
+    def candidates(self, left: Relation, right: Relation) -> List[Pair]:
+        """Candidate pairs from the spec's blocking backend."""
+        return self.plan.candidates(left, right)
+
+    def match(
+        self,
+        left: Relation,
+        right: Relation,
+        candidates: Optional[Sequence[Pair]] = None,
+        provenance: bool = True,
+    ) -> MatchReport:
+        """Batch matching in the spec's execution mode."""
+        if self.spec.mode == "direct":
+            return self._match_direct(left, right, candidates, provenance)
+        return self.enforce(left, right, candidates, provenance)
+
+    def enforce(
+        self,
+        left,
+        right: Optional[Relation] = None,
+        candidates: Optional[Sequence[Pair]] = None,
+        provenance: bool = True,
+    ) -> MatchReport:
+        """Match by chasing the instances with the MDs (dynamic semantics).
+
+        ``left`` may be an :class:`~repro.core.semantics.InstancePair`
+        (then ``right`` must be omitted) or the left relation of a pair.
+        """
+        plan = self.plan
+        if isinstance(left, InstancePair):
+            if right is not None:
+                raise TypeError(
+                    "pass either an InstancePair or two relations, not both"
+                )
+            instance = left
+        else:
+            instance = InstancePair(plan.pair, left, right)
+        if candidates is None:
+            candidates = plan.candidates(instance.left, instance.right)
+        candidates = list(candidates)
+        result = plan.enforce(
+            instance,
+            resolver=self.spec.resolver(),
+            candidate_pairs=candidates,
+            max_rounds=self.spec.max_rounds,
+        )
+        target_pairs = plan.target.attribute_pairs()
+        matches = [
+            pair
+            for pair in candidates
+            if result.identified(pair[0], pair[1], target_pairs)
+        ]
+        rule_names: Dict[Pair, Tuple[str, ...]] = {}
+        if provenance:
+            chased = result.instance
+            for left_tid, right_tid in matches:
+                t1 = chased.left[left_tid]
+                t2 = chased.right[right_tid]
+                rule_names[(left_tid, right_tid)] = tuple(
+                    rule.name
+                    for rule in plan.rules
+                    if plan.lhs_matches(rule, t1, t2)
+                )
+        return self._report("enforce", matches, candidates, rule_names)
+
+    def _match_direct(
+        self,
+        left: Relation,
+        right: Relation,
+        candidates: Optional[Sequence[Pair]],
+        provenance: bool,
+    ) -> MatchReport:
+        """Direct rule matching: some RCK's comparisons all agree."""
+        plan = self.plan
+        if candidates is None:
+            candidates = plan.candidates(left, right)
+        candidates = list(candidates)
+        plan.stats.pairs_compared += len(candidates)
+        matches: List[Pair] = []
+        key_names: Dict[Pair, Tuple[str, ...]] = {}
+        for left_tid, right_tid in candidates:
+            t1, t2 = left[left_tid], right[right_tid]
+            if not plan.matches_any_key(t1, t2):
+                continue
+            matches.append((left_tid, right_tid))
+            if provenance:
+                key_names[(left_tid, right_tid)] = tuple(
+                    key.name
+                    for key in plan.keys
+                    if plan.key_matches(key, t1, t2)
+                )
+        return self._report("direct", matches, candidates, key_names)
+
+    def stream(self, store=None):
+        """A spec-configured incremental matcher over this workspace's plan.
+
+        ``store`` resumes from a restored
+        :class:`~repro.engine.store.MatchStore`; a store fingerprinted by
+        a *different* spec is rejected with :class:`SpecError` (restoring
+        it would silently match under rules it was not built with).  New
+        and legacy (unfingerprinted) stores are stamped with this spec's
+        fingerprint.
+        """
+        from repro.engine.matcher import IncrementalMatcher
+
+        spec = self.spec
+        if store is not None:
+            stamp = getattr(store, "spec_fingerprint", None)
+            if stamp is not None and stamp != self.fingerprint:
+                raise SpecError(
+                    [
+                        f"store was built from spec {stamp}, but this "
+                        f"workspace's spec is {self.fingerprint}; "
+                        "re-bootstrap the store or load the matching spec"
+                    ]
+                )
+        matcher = IncrementalMatcher(
+            plan=self.plan,
+            resolver=spec.resolver(),
+            store=store,
+            key_length=spec.key_length,
+            encode_attributes=spec.encode,
+            max_cascade=spec.max_cascade,
+        )
+        if matcher.store.spec_fingerprint is None:
+            matcher.store.spec_fingerprint = self.fingerprint
+        return matcher
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def explain(self) -> str:
+        """The spec header plus the compiled plan, human-readable."""
+        spec = self.spec
+        lines = [
+            f"# Workspace: ResolutionSpec v{spec.version}, "
+            f"fingerprint {self.fingerprint}",
+            f"# execution: mode={spec.mode}, policy={spec.policy}, "
+            f"top_k={spec.top_k}, cache={'on' if spec.cache else 'off'}",
+            self.plan.explain(),
+        ]
+        return "\n".join(lines)
+
+    def _report(
+        self,
+        mode: str,
+        matches: Sequence[Pair],
+        candidates: Sequence[Pair],
+        provenance: Dict[Pair, Tuple[str, ...]],
+    ) -> MatchReport:
+        return MatchReport(
+            matches=tuple(matches),
+            candidates=tuple(candidates),
+            clusters=tuple(cluster_matches(matches)),
+            provenance=provenance,
+            stats=dict(self.plan.stats.as_dict()),
+            fingerprint=self.fingerprint,
+            mode=mode,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        compiled = "compiled" if self._plan is not None else "uncompiled"
+        return (
+            f"Workspace(fingerprint={self.fingerprint}, "
+            f"mode={self.spec.mode!r}, {compiled})"
+        )

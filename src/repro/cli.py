@@ -1,22 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Drives the full pipeline from plain files, so the library is usable
-without writing Python:
+without writing Python.  Every pipeline command is **spec-driven**: pass
+``--spec spec.json`` (a :class:`repro.api.ResolutionSpec` document) and
+the command builds a :class:`repro.api.Workspace` from it.  The legacy
+``--schema``/``--mds`` flag form still works — it is lowered into a spec
+internally — but emits a ``DeprecationWarning``.
 
-* ``deduce``  — read a schema spec and an MD file, print quality RCKs;
+* ``spec``    — the spec itself: ``spec validate`` checks a document and
+  reports **all** problems at once (exit 2 when invalid);
+* ``deduce``  — print the spec's quality RCKs;
 * ``check``   — decide Σ ⊨m φ for an MD given on the command line;
-* ``match``   — match two CSV files with deduced RCKs, write match pairs;
-* ``plan``    — the enforcement kernel (:mod:`repro.plan`):
-  ``plan explain`` compiles the MD file into an ``EnforcementPlan`` and
-  prints it — deduplicated predicates, metric bindings, lowered rules and
-  keys, and the chosen blocking backend;
+* ``match``   — match two CSV files (``--json`` prints the full
+  :class:`~repro.api.workspace.MatchReport`);
+* ``plan``    — ``plan explain`` prints the compiled ``EnforcementPlan``;
 * ``demo``    — run the paper's Fig. 1 example end to end;
-* ``engine``  — the incremental streaming engine (:mod:`repro.engine`):
-  ``engine ingest`` streams CSV records into a persistent match store,
-  ``engine stats`` reports its counters, ``engine query`` prints the
-  identity cluster of a record.
+* ``engine``  — the incremental streaming engine: ``engine ingest``
+  streams CSV records into a persistent match store (snapshots embed the
+  spec fingerprint; resuming under a different spec is rejected),
+  ``engine stats`` reports counters, ``engine query`` prints a cluster.
 
-The schema spec is JSON::
+The legacy schema spec is JSON::
 
     {
       "left":   {"name": "credit",  "attributes": ["c#", "FN", ...]},
@@ -26,6 +30,10 @@ The schema spec is JSON::
 
 MD files contain one MD per line in the :mod:`repro.core.parser` syntax;
 blank lines and ``#`` comments are ignored.
+
+Exit codes: 0 on success, 1 for a negative ``check`` verdict, 2 for any
+user-facing error (bad input, missing file, invalid spec) — every such
+error is printed to stderr, never raised as a traceback.
 """
 
 from __future__ import annotations
@@ -34,14 +42,14 @@ import argparse
 import csv
 import json
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from repro.api import ResolutionSpec, SpecBuilder, SpecError, Workspace
 from repro.core.closure import deduces
-from repro.core.findrcks import find_rcks
 from repro.core.parser import parse_md, parse_mds
 from repro.core.schema import ComparableLists, RelationSchema, SchemaPair
-from repro.matching.pipeline import RCKMatcher
 from repro.relations.csvio import load_relation
 from repro.relations.relation import Relation
 
@@ -51,7 +59,7 @@ class CliError(Exception):
 
 
 def load_schema_spec(path: Path) -> Tuple[SchemaPair, ComparableLists]:
-    """Parse the JSON schema spec into a pair and target lists."""
+    """Parse the legacy JSON schema spec into a pair and target lists."""
     try:
         spec = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
@@ -69,7 +77,7 @@ def load_schema_spec(path: Path) -> Tuple[SchemaPair, ComparableLists]:
         target = ComparableLists(
             pair, spec["target"]["left"], spec["target"]["right"]
         )
-    except (KeyError, ValueError) as error:
+    except (KeyError, TypeError, ValueError) as error:
         raise CliError(f"invalid schema spec: {error}") from None
     return pair, target
 
@@ -113,23 +121,171 @@ def _load_csv_relation(schema, path: Path) -> Relation:
 
 
 # ----------------------------------------------------------------------
+# Spec resolution: --spec, or legacy flags lowered into a spec
+# ----------------------------------------------------------------------
+
+
+def _spec_from_file(path: Path) -> ResolutionSpec:
+    """Read a ResolutionSpec, folding all its errors into one CliError."""
+    try:
+        return ResolutionSpec.from_file(path)
+    except SpecError as error:
+        raise CliError("\n".join(error.errors)) from None
+
+
+def _legacy_spec(
+    args,
+    mode: str,
+    top_k: int,
+    window: int = 10,
+    backend: str = "sorted-neighborhood",
+) -> ResolutionSpec:
+    """Lower the deprecated --schema/--mds flag form into a spec."""
+    pair, target = load_schema_spec(Path(args.schema))
+    sigma = load_md_file(Path(args.mds), pair)
+    warnings.warn(
+        "the --schema/--mds flag form is deprecated; write a "
+        "ResolutionSpec document and pass --spec spec.json "
+        "(see `repro spec validate`)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    try:
+        return (
+            SpecBuilder()
+            .pair(pair)
+            .target(target)
+            .mds(sigma)
+            .blocking(backend, window=window)
+            .execution(mode=mode, top_k=top_k)
+            .build()
+        )
+    except SpecError as error:
+        raise CliError(
+            "cannot lower the given flags into a spec:\n"
+            + "\n".join(error.errors)
+        ) from None
+
+
+def _override_spec(spec: ResolutionSpec, **overrides) -> ResolutionSpec:
+    """Rebuild a spec with explicitly passed tuning flags applied.
+
+    ``overrides`` maps dotted document paths (e.g. ``"rules.top_k"``) to
+    values; ``None`` values (flag not given) are skipped, so a plain
+    ``--spec`` run uses the file verbatim.
+    """
+    effective = {
+        path: value for path, value in overrides.items() if value is not None
+    }
+    if not effective:
+        return spec
+    document = spec.to_dict()
+    for path, value in effective.items():
+        section, _, key = path.partition(".")
+        document[section][key] = value
+    return ResolutionSpec.from_dict(document)
+
+
+def _resolve_spec(
+    args,
+    mode: str,
+    top_k: Optional[int] = None,
+    window: Optional[int] = None,
+    backend: Optional[str] = None,
+    default_top_k: int = 5,
+) -> ResolutionSpec:
+    """The command's spec: --spec when given, lowered flags otherwise.
+
+    With ``--spec``, explicitly passed tuning flags (``--top-k``,
+    ``--window``, ``--backend``, ``-m``) override the corresponding spec
+    fields — a flag the user typed is never silently ignored — and
+    combining ``--spec`` with ``--schema``/``--mds`` is an error.
+    """
+    spec_path = getattr(args, "spec", None)
+    if spec_path:
+        if getattr(args, "schema", None) or getattr(args, "mds", None):
+            raise CliError(
+                "--spec conflicts with --schema/--mds; pass one form only"
+            )
+        spec = _spec_from_file(Path(spec_path))
+        try:
+            return _override_spec(
+                spec,
+                **{
+                    "rules.top_k": top_k,
+                    "blocking.window": window,
+                    "blocking.backend": backend,
+                },
+            )
+        except SpecError as error:
+            raise CliError("\n".join(error.errors)) from None
+    if not getattr(args, "schema", None) or not getattr(args, "mds", None):
+        raise CliError(
+            "pass --spec spec.json, or both --schema and --mds"
+        )
+    return _legacy_spec(
+        args,
+        mode,
+        top_k if top_k is not None else default_top_k,
+        window if window is not None else 10,
+        backend if backend is not None else "sorted-neighborhood",
+    )
+
+
+def _workspace(spec: ResolutionSpec) -> Workspace:
+    """A workspace whose compile errors surface as CLI errors."""
+    workspace = Workspace(spec)
+    try:
+        workspace.plan
+    except (KeyError, ValueError) as error:
+        raise CliError(f"cannot compile the spec: {error}") from None
+    return workspace
+
+
+# ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
 
 
+def cmd_spec_validate(args) -> int:
+    path = Path(args.file)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise CliError(f"spec file not found: {path}") from None
+    except json.JSONDecodeError as error:
+        raise CliError(f"invalid JSON in {path}: {error}") from None
+    errors = ResolutionSpec.validate_document(document)
+    if errors:
+        for message in errors:
+            print(f"error: {message}", file=sys.stderr)
+        print(f"# {len(errors)} error(s) in {path}", file=sys.stderr)
+        return 2
+    spec = ResolutionSpec.from_dict(document)
+    print(
+        f"OK: {path} is a valid v{spec.version} ResolutionSpec "
+        f"(fingerprint {spec.fingerprint()})"
+    )
+    return 0
+
+
 def cmd_deduce(args) -> int:
-    pair, target = load_schema_spec(Path(args.schema))
-    sigma = load_md_file(Path(args.mds), pair)
-    keys = find_rcks(sigma, target, m=args.m)
-    print(f"# {len(keys)} RCK(s) relative to {target}")
+    spec = _resolve_spec(args, mode="direct", top_k=args.m, default_top_k=10)
+    workspace = _workspace(spec)
+    keys = workspace.deduce()
+    print(f"# {len(keys)} RCK(s) relative to {workspace.plan.target}")
     for key in keys:
         print(key)
     return 0
 
 
 def cmd_check(args) -> int:
-    pair, _ = load_schema_spec(Path(args.schema))
-    sigma = load_md_file(Path(args.mds), pair)
+    spec = _resolve_spec(args, mode="enforce")
+    pair = spec.schema_pair()
+    try:
+        sigma = spec.parsed_mds(pair)
+    except ValueError as error:
+        raise CliError(f"cannot parse the spec's MDs: {error}") from None
     try:
         phi = parse_md(args.md, pair)
     except ValueError as error:
@@ -146,58 +302,56 @@ def cmd_check(args) -> int:
 
 
 def cmd_match(args) -> int:
-    pair, target = load_schema_spec(Path(args.schema))
-    sigma = load_md_file(Path(args.mds), pair)
-    left = _load_csv_relation(pair.left, Path(args.left))
-    right = _load_csv_relation(pair.right, Path(args.right))
-    matcher = RCKMatcher.from_mds(
-        sigma, target, top_k=args.top_k, window=args.window
+    spec = _resolve_spec(
+        args, mode="direct", top_k=args.top_k, window=args.window
     )
-    result = matcher.match(left, right)
-    output = Path(args.output) if args.output else None
-    rows = [
-        (left_tid, right_tid) for left_tid, right_tid in result.matches
-    ]
-    if output is None:
-        for left_tid, right_tid in rows:
-            print(f"{left_tid},{right_tid}")
-    else:
-        with output.open("w", newline="", encoding="utf-8") as handle:
+    workspace = _workspace(spec)
+    plan = workspace.plan
+    if not plan.keys:
+        raise CliError("no RCKs deducible from the given MDs")
+    left = _load_csv_relation(plan.pair.left, Path(args.left))
+    right = _load_csv_relation(plan.pair.right, Path(args.right))
+    try:
+        report = workspace.match(left, right)
+    except (KeyError, ValueError) as error:
+        raise CliError(f"matching failed: {error}") from None
+    rows = list(report.matches)
+    if args.output:
+        with Path(args.output).open("w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             writer.writerow(["left_tid", "right_tid"])
             writer.writerows(rows)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+        return 0
+    if not args.output:
+        for left_tid, right_tid in rows:
+            print(f"{left_tid},{right_tid}")
     print(
-        f"# {len(rows)} match(es) from {len(result.candidates)} candidate "
-        f"pair(s); keys used: {len(matcher.rcks)}",
+        f"# {len(rows)} match(es) from {len(report.candidates)} candidate "
+        f"pair(s); keys used: {len(plan.keys)}",
         file=sys.stderr,
     )
     return 0
 
 
 def cmd_plan_explain(args) -> int:
-    from repro.plan import (
-        HashBlockingBackend,
-        SortedNeighborhoodBackend,
-        compile_plan,
+    spec = _resolve_spec(
+        args,
+        mode="enforce",
+        top_k=args.top_k,
+        window=args.window,
+        backend=args.backend,
     )
-
-    pair, target = load_schema_spec(Path(args.schema))
-    sigma = load_md_file(Path(args.mds), pair)
-    rcks = find_rcks(sigma, target, m=args.top_k)
-    if not rcks:
+    workspace = _workspace(spec)
+    if not workspace.plan.keys:
         raise CliError("no RCKs deducible from the given MDs")
-    if args.backend == "hash":
-        blocking = HashBlockingBackend.per_rck(rcks)
-    else:
-        blocking = SortedNeighborhoodBackend.from_rcks(rcks, window=args.window)
-    try:
-        plan = compile_plan(sigma, target, rcks=rcks, blocking=blocking)
-    except (KeyError, ValueError) as error:
-        raise CliError(f"cannot compile the plan: {error}") from None
     if args.json:
-        print(json.dumps(plan.to_dict(), sort_keys=True))
+        document = workspace.plan.to_dict()
+        document["spec_fingerprint"] = workspace.fingerprint
+        print(json.dumps(document, sort_keys=True))
     else:
-        print(plan.explain())
+        print(workspace.explain())
     return 0
 
 
@@ -214,16 +368,19 @@ def _load_engine_store(path: Path):
 
 def cmd_engine_ingest(args) -> int:
     from repro.core.schema import LEFT, RIGHT
-    from repro.engine import IncrementalMatcher, save_store
+    from repro.engine import save_store
 
-    pair, target = load_schema_spec(Path(args.schema))
-    sigma = load_md_file(Path(args.mds), pair)
+    spec = _resolve_spec(args, mode="enforce", top_k=args.top_k)
+    workspace = _workspace(spec)
+    pair = workspace.plan.pair
     store_path = Path(args.store)
     store = None
     if store_path.exists():
         store = _load_engine_store(store_path)
     try:
-        matcher = IncrementalMatcher(sigma, target, top_k=args.top_k, store=store)
+        matcher = workspace.stream(store=store)
+    except SpecError as error:
+        raise CliError(f"{store_path}: {'; '.join(error.errors)}") from None
     except ValueError as error:
         # Covers e.g. a store snapshot built for a different schema/target.
         raise CliError(f"{store_path}: {error}") from None
@@ -243,6 +400,7 @@ def cmd_engine_ingest(args) -> int:
     stats = matcher.store.stats()
     stats["ingested"] = ingested
     stats["new_merges"] = matcher.store.merges - merges_before
+    stats["spec_fingerprint"] = matcher.store.spec_fingerprint
     # Work counters of this run's compiled plan (cache state is
     # per-process; it is not persisted in the snapshot).
     stats["plan"] = matcher.plan.stats.as_dict()
@@ -324,20 +482,38 @@ def cmd_demo(args) -> int:
     from repro.datagen.schemas import paper_mds, paper_target
 
     pair, credit, billing = figure1_instances()
-    sigma = paper_mds(pair)
-    target = paper_target(pair)
-    keys = find_rcks(sigma, target, m=6)
+    workspace = (
+        Workspace.builder()
+        .pair(pair)
+        .target(paper_target(pair))
+        .mds(paper_mds(pair))
+        .execution(mode="direct", top_k=6)
+        .workspace()
+    )
     print("Deduced RCKs from the paper's MDs:")
-    for key in keys:
+    for key in workspace.deduce():
         print(f"  {key}")
-    matcher = RCKMatcher(keys)
-    result = matcher.match(
-        credit, billing, candidates=[(l, r) for l in range(2) for r in range(4)]
+    report = workspace.match(
+        credit, billing,
+        candidates=[(l, r) for l in range(2) for r in range(4)],
     )
     print("Matches on the Fig. 1 instances (credit tid, billing tid):")
-    for pair_ in result.matches:
+    for pair_ in report.matches:
         print(f"  {pair_}")
     return 0
+
+
+def _add_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec",
+        help="ResolutionSpec JSON (the declarative form of every other flag)",
+    )
+    parser.add_argument(
+        "--schema", help="legacy schema spec JSON (deprecated; use --spec)"
+    )
+    parser.add_argument(
+        "--mds", help="legacy MD file, one per line (deprecated; use --spec)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -348,15 +524,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    spec = sub.add_parser(
+        "spec", help="work with ResolutionSpec documents (repro.api)"
+    )
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    validate = spec_sub.add_parser(
+        "validate",
+        help="validate a spec document, reporting every error at once",
+    )
+    validate.add_argument("file", help="ResolutionSpec JSON file")
+    validate.set_defaults(func=cmd_spec_validate)
+
     deduce = sub.add_parser("deduce", help="deduce quality RCKs from MDs")
-    deduce.add_argument("--schema", required=True, help="schema spec JSON")
-    deduce.add_argument("--mds", required=True, help="MD file (one per line)")
-    deduce.add_argument("-m", type=int, default=10, help="max RCKs (default 10)")
+    _add_spec_options(deduce)
+    deduce.add_argument("-m", type=int, help="max RCKs (default 10)")
     deduce.set_defaults(func=cmd_deduce)
 
     check = sub.add_parser("check", help="decide Sigma |=m phi")
-    check.add_argument("--schema", required=True)
-    check.add_argument("--mds", required=True)
+    _add_spec_options(check)
     check.add_argument(
         "--explain", action="store_true",
         help="print the derivation (or failure report)",
@@ -365,13 +550,17 @@ def build_parser() -> argparse.ArgumentParser:
     check.set_defaults(func=cmd_check)
 
     match = sub.add_parser("match", help="match two CSV files with RCKs")
-    match.add_argument("--schema", required=True)
-    match.add_argument("--mds", required=True)
+    _add_spec_options(match)
     match.add_argument("--left", required=True, help="left relation CSV")
     match.add_argument("--right", required=True, help="right relation CSV")
     match.add_argument("-o", "--output", help="write pairs CSV here")
-    match.add_argument("--top-k", type=int, default=5, help="RCKs to use")
-    match.add_argument("--window", type=int, default=10, help="window size")
+    match.add_argument("--top-k", type=int, help="RCKs to use (default 5)")
+    match.add_argument("--window", type=int, help="window size (default 10)")
+    match.add_argument(
+        "--json", action="store_true",
+        help="print the full MatchReport as JSON (pairs, clusters, "
+        "provenance, plan stats, spec fingerprint)",
+    )
     match.set_defaults(func=cmd_match)
 
     plan = sub.add_parser(
@@ -380,18 +569,17 @@ def build_parser() -> argparse.ArgumentParser:
     plan_sub = plan.add_subparsers(dest="plan_command", required=True)
     explain = plan_sub.add_parser(
         "explain",
-        help="compile an MD file and print the resulting EnforcementPlan",
+        help="compile a spec (or MD file) and print the EnforcementPlan",
     )
-    explain.add_argument("--schema", required=True, help="schema spec JSON")
-    explain.add_argument("--mds", required=True, help="MD file (one per line)")
-    explain.add_argument("--top-k", type=int, default=5, help="RCKs to deduce")
+    _add_spec_options(explain)
+    explain.add_argument("--top-k", type=int, help="RCKs to deduce (default 5)")
     explain.add_argument(
         "--backend", choices=("sorted-neighborhood", "hash"),
-        default="sorted-neighborhood", help="blocking backend to attach",
+        help="blocking backend to attach (default sorted-neighborhood)",
     )
     explain.add_argument(
-        "--window", type=int, default=10,
-        help="window size (sorted-neighborhood backend)",
+        "--window", type=int,
+        help="window size (sorted-neighborhood backend; default 10)",
     )
     explain.add_argument(
         "--json", action="store_true", help="print the plan as JSON"
@@ -409,15 +597,14 @@ def build_parser() -> argparse.ArgumentParser:
     ingest = engine_sub.add_parser(
         "ingest", help="stream CSV records into a persistent match store"
     )
-    ingest.add_argument("--schema", required=True, help="schema spec JSON")
-    ingest.add_argument("--mds", required=True, help="MD file (one per line)")
+    _add_spec_options(ingest)
     ingest.add_argument(
         "--store", required=True,
         help="store snapshot path (created when missing, updated in place)",
     )
     ingest.add_argument("--left", help="left relation CSV to ingest")
     ingest.add_argument("--right", help="right relation CSV to ingest")
-    ingest.add_argument("--top-k", type=int, default=5, help="RCKs to use")
+    ingest.add_argument("--top-k", type=int, help="RCKs to use (default 5)")
     ingest.add_argument(
         "--json", action="store_true", help="print stats as JSON"
     )
@@ -451,6 +638,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SpecError as error:
+        for message in error.errors:
+            print(f"error: {message}", file=sys.stderr)
+        return 2
     except CliError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

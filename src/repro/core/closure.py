@@ -36,7 +36,7 @@ The fixpoint is validated in tests against the independent union-find model
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .matrix import SimilarityMatrix

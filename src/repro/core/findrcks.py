@@ -27,7 +27,7 @@ sweep yields a globally minimal key — a true RCK, not just a local optimum.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set
 
 from .closure import ClosureEngine
 from .md import MatchingDependency

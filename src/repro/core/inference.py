@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from .md import MatchingDependency, SimilarityAtom
-from .similarity import EQUALITY, as_operator
+from .similarity import EQUALITY
 
 
 def augment_lhs(

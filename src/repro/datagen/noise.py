@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 _ALPHABET = string.ascii_lowercase
 

@@ -23,6 +23,7 @@ comparison counter).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -117,6 +118,15 @@ class IncrementalMatcher:
         plan: Optional[EnforcementPlan] = None,
     ) -> None:
         if plan is None:
+            # The raw-MD constructor predates the spec-driven API; the
+            # plan-sharing form (what Workspace.stream builds) stays.
+            warnings.warn(
+                "constructing IncrementalMatcher from raw MDs is "
+                "deprecated; build a repro.api.Workspace and call "
+                "Workspace.stream()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             if not sigma:
                 raise ValueError("need at least one MD")
             if target is None:

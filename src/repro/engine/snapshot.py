@@ -38,6 +38,7 @@ def store_to_dict(store: MatchStore) -> Dict[str, object]:
     """The store as a JSON-serializable dictionary."""
     return {
         "version": SNAPSHOT_VERSION,
+        "spec_fingerprint": store.spec_fingerprint,
         "schema": {
             "left": {
                 "name": store.pair.left.name,
@@ -119,6 +120,9 @@ def store_from_dict(data: Dict[str, object]) -> MatchStore:
     counters = data["counters"]
     store.comparisons = int(counters["comparisons"])
     store.merges = int(counters["merges"])
+    # Snapshots written before the spec API carry no fingerprint; they
+    # restore with None and get stamped on their next spec-driven use.
+    store.spec_fingerprint = data.get("spec_fingerprint")
     return store
 
 

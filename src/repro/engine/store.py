@@ -88,6 +88,11 @@ class MatchStore:
         self.comparisons = 0
         #: Cluster merges performed (successful unions).
         self.merges = 0
+        #: Fingerprint of the :class:`repro.api.ResolutionSpec` this store
+        #: was built under (``None`` for stores built outside the spec
+        #: API).  Snapshots persist it; ``Workspace.stream`` refuses to
+        #: resume a store fingerprinted by a different spec.
+        self.spec_fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Records and indexes

@@ -26,7 +26,7 @@ that re-evaluates every rule atom per pair
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.datagen.generator import generate_dataset
 from repro.datagen.noise import NoiseModel
@@ -40,17 +40,31 @@ from repro.plan.blocking import (
     attribute_key,
     leading_attribute_pairs,
 )
-from repro.plan.compile import compile_plan
 from repro.metrics.soundex import soundex
 
 from .exp_fs import DEFAULT_SIZES, TOP_K_RCKS, deduce_rcks
-from .harness import Table, timed
+from .harness import Table, resolution_spec_document, timed
 
 #: The manual blocking key of the baseline: last name (Soundex-encoded),
 #: street and zip — the name-plus-address key a practitioner would pick
 #: first, which underuses the rule knowledge RCKs encode (street is long
 #: and error-prone; the cost model steers RCKs to shorter attributes).
 MANUAL_ATTRIBUTES = ("LN", "street", "zip")
+
+
+def exp4_key_pairs(rcks):
+    """The Exp-4 derived key: three attribute pairs from the top two RCKs.
+
+    The one selection rule shared by every Exp-4 configuration (hash,
+    windowing, and the spec-driven kernel benchmark).
+    """
+    pairs = leading_attribute_pairs(rcks[:2], attribute_count=3)
+    if len(pairs) < 3:
+        raise ValueError(
+            f"the top RCKs only provide {len(pairs)} distinct attribute "
+            "pairs, Exp-4 needs 3"
+        )
+    return pairs
 
 
 def rck_backend(rcks, mode: str = "blocking", window: int = 10) -> BlockingBackend:
@@ -60,12 +74,7 @@ def rck_backend(rcks, mode: str = "blocking", window: int = 10) -> BlockingBacke
     RCKs (names Soundex-encoded, per the paper); windowing slides the
     standard window over the same derived key.
     """
-    pairs = leading_attribute_pairs(rcks[:2], attribute_count=3)
-    if len(pairs) < 3:
-        raise ValueError(
-            f"the top RCKs only provide {len(pairs)} distinct attribute "
-            "pairs, Exp-4 needs 3"
-        )
+    pairs = exp4_key_pairs(rcks)
     index = RCKIndex("exp4-rck", pairs, encode_attributes=("FN", "LN"))
     if mode == "blocking":
         return HashBlockingBackend([index])
@@ -150,38 +159,59 @@ def run_kernel_point(
     candidates twice: once through a cached plan (deduplicated predicates
     + similarity memo, re-used across chase rounds) and once uncached —
     the per-(pair, rule, atom, round) evaluation count of the
-    pre-refactor path.  Both must decide identical matches; the cached
-    plan must charge strictly fewer metric evaluations
-    (``benchmarks/test_plan_kernel.py`` pins this).
+    pre-refactor path.  Both executions are driven through the
+    declarative front door: one :func:`~repro.experiments.harness.resolution_spec_document`
+    per configuration (explicit RCKs, the Exp-4 blocking key, cache
+    on/off), realized as a :class:`repro.api.Workspace`.  Both must
+    decide identical matches; the cached plan must charge strictly fewer
+    metric evaluations (``benchmarks/test_plan_kernel.py`` pins this).
     """
-    from repro.core.semantics import InstancePair
+    from repro.api import Workspace
 
     dataset = generate_dataset(size, noise=noise, seed=seed)
     sigma = extended_mds(dataset.pair)
     rcks = deduce_rcks(dataset, sigma, m=TOP_K_RCKS)
-    backend = rck_backend(rcks, "blocking", window)
-    candidates = backend.candidates(dataset.credit, dataset.billing)
-    target_pairs = dataset.target.attribute_pairs()
-
-    def decide(plan):
-        instance = InstancePair(
-            dataset.target.pair, dataset.credit, dataset.billing
-        )
-        result = plan.enforce(instance, candidate_pairs=candidates)
-        return [
-            (left_tid, right_tid)
-            for left_tid, right_tid in candidates
-            if result.identified(left_tid, right_tid, target_pairs)
-        ]
-
-    kernel = compile_plan(sigma, dataset.target, rcks=rcks, blocking=backend)
-    naive = compile_plan(
-        sigma, dataset.target, rcks=rcks, blocking=backend, cached=False
+    key_pairs = exp4_key_pairs(rcks)
+    base = resolution_spec_document(
+        dataset.pair,
+        dataset.target,
+        sigma,
+        rcks=rcks,
+        blocking={
+            "backend": "hash",
+            "key_pairs": [list(pair) for pair in key_pairs],
+            "encode": ["FN", "LN"],
+            "window": window,
+        },
+        execution={"mode": "enforce", "cache": True},
     )
-    kernel_matches, kernel_seconds = timed(decide, kernel)
-    naive_matches, naive_seconds = timed(decide, naive)
+    naive_document = resolution_spec_document(
+        dataset.pair,
+        dataset.target,
+        sigma,
+        rcks=rcks,
+        blocking=base["blocking"],
+        execution={"mode": "enforce", "cache": False},
+    )
+    kernel_workspace = Workspace.from_dict(base)
+    naive_workspace = Workspace.from_dict(naive_document)
+    candidates = kernel_workspace.candidates(dataset.credit, dataset.billing)
+
+    def decide(workspace):
+        report = workspace.enforce(
+            dataset.credit,
+            dataset.billing,
+            candidates=candidates,
+            provenance=False,
+        )
+        return list(report.matches)
+
+    kernel_matches, kernel_seconds = timed(decide, kernel_workspace)
+    naive_matches, naive_seconds = timed(decide, naive_workspace)
     if kernel_matches != naive_matches:  # pragma: no cover - sanity guard
         raise AssertionError("kernel and naive paths disagree on matches")
+    kernel = kernel_workspace.plan
+    naive = naive_workspace.plan
     return {
         "K": size,
         "candidates": len(candidates),

@@ -1,8 +1,12 @@
-"""Shared experiment infrastructure: timed runs and table rendering.
+"""Shared experiment infrastructure: timed runs, specs, table rendering.
 
 Each ``exp_*`` module computes one figure of Section 6 and returns plain
 record lists; this harness renders them as the aligned text tables that
-EXPERIMENTS.md records and the benchmark suite prints.
+EXPERIMENTS.md records and the benchmark suite prints.  It also builds
+the :class:`repro.api.ResolutionSpec` documents the experiments execute
+through (:func:`resolution_spec_document`), so an experiment
+configuration is the same kind of artifact a user would pass to
+``repro match --spec``.
 """
 
 from __future__ import annotations
@@ -10,7 +14,60 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.parser import format_md
+
+
+def resolution_spec_document(
+    pair,
+    target,
+    sigma,
+    rcks=None,
+    blocking: Optional[Dict[str, object]] = None,
+    execution: Optional[Dict[str, object]] = None,
+    top_k: int = 5,
+) -> Dict[str, object]:
+    """An experiment configuration as a raw ResolutionSpec document.
+
+    ``sigma`` is a sequence of parsed MDs (serialized back to text) and
+    ``rcks`` an optional sequence of :class:`~repro.core.rck.RelativeKey`
+    to pin explicitly — experiments deduce keys with dataset-specific
+    cost models, which the spec then records verbatim.  The result is a
+    plain dict; validate/realize it with
+    :meth:`repro.api.ResolutionSpec.from_dict`.
+    """
+    document: Dict[str, object] = {
+        "version": 1,
+        "schema": {
+            "left": {
+                "name": pair.left.name,
+                "attributes": list(pair.left.attribute_names),
+            },
+            "right": {
+                "name": pair.right.name,
+                "attributes": list(pair.right.attribute_names),
+            },
+        },
+        "target": {
+            "left": list(target.left_list),
+            "right": list(target.right_list),
+        },
+        "rules": {
+            "mds": [format_md(dependency) for dependency in sigma],
+            "top_k": top_k,
+        },
+    }
+    if rcks is not None:
+        document["rules"]["rcks"] = [
+            [[atom.left, atom.right, atom.operator.name] for atom in key.atoms]
+            for key in rcks
+        ]
+    if blocking is not None:
+        document["blocking"] = dict(blocking)
+    if execution is not None:
+        document["execution"] = dict(execution)
+    return document
 
 
 @dataclass

@@ -28,6 +28,7 @@ batch/streaming equivalence suite pins their agreement
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -40,6 +41,21 @@ from repro.plan.compile import EnforcementPlan, compile_plan
 from repro.relations.relation import Relation
 
 from .evaluate import Pair
+
+
+def _warn_deprecated(old: str, replacement: str) -> None:
+    """One DeprecationWarning, attributed to the external caller.
+
+    ``stacklevel=3`` skips this helper *and* the public entry point that
+    called it, so the warning points at user code — and the test suite's
+    "no DeprecationWarning from within repro" filter stays meaningful.
+    """
+    warnings.warn(
+        f"{old} is deprecated and will be removed in a future release; "
+        f"{replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -58,6 +74,20 @@ class RCKMatcher:
     """
 
     def __init__(
+        self,
+        rcks: Sequence[RelativeKey] = (),
+        window: int = 10,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+        plan: Optional[EnforcementPlan] = None,
+    ) -> None:
+        _warn_deprecated(
+            "RCKMatcher",
+            "build a repro.api.Workspace (execution mode 'direct') and "
+            "call Workspace.match",
+        )
+        self._init(rcks=rcks, window=window, registry=registry, plan=plan)
+
+    def _init(
         self,
         rcks: Sequence[RelativeKey] = (),
         window: int = 10,
@@ -87,10 +117,17 @@ class RCKMatcher:
         registry: MetricRegistry = DEFAULT_REGISTRY,
     ) -> "RCKMatcher":
         """Deduce ``top_k`` RCKs from Σ and compile the matcher's plan."""
+        _warn_deprecated(
+            "RCKMatcher.from_mds",
+            "build a repro.api.Workspace (execution mode 'direct') and "
+            "call Workspace.match",
+        )
         plan = compile_plan(
             sigma, target, top_k=top_k, window=window, registry=registry
         )
-        return cls(plan=plan, window=window)
+        matcher = cls.__new__(cls)
+        matcher._init(plan=plan, window=window)
+        return matcher
 
     def candidate_pairs(
         self, left: Relation, right: Relation
@@ -136,6 +173,11 @@ class EnforcementMatcher:
         registry: MetricRegistry = DEFAULT_REGISTRY,
         plan: Optional[EnforcementPlan] = None,
     ) -> None:
+        _warn_deprecated(
+            "EnforcementMatcher",
+            "build a repro.api.Workspace (execution mode 'enforce') and "
+            "call Workspace.match or Workspace.enforce",
+        )
         if plan is None:
             if not sigma:
                 raise ValueError("need at least one MD")

@@ -21,7 +21,7 @@ A rule is satisfied when **all** its conditions hold; a pair matches when
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.rck import RelativeKey
 from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry

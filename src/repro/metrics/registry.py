@@ -49,6 +49,22 @@ class MetricRegistry:
         for op in stale:
             del self._cache[op]
 
+    def alias(self, name: str, existing: str) -> None:
+        """Bind ``name`` to the factory already registered as ``existing``.
+
+        This is how a :class:`repro.api.ResolutionSpec` metric binding is
+        realized: MD text may then use ``name(theta)`` operators that
+        resolve to the ``existing`` metric.
+        """
+        try:
+            factory = self._factories[existing]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(
+                f"unknown metric {existing!r}; registered metrics: {known}"
+            ) from None
+        self.register(name, factory)
+
     def metric(self, name: str) -> StringMetric:
         """Instantiate the metric registered under ``name``."""
         try:

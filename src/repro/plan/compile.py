@@ -98,6 +98,7 @@ class CompiledKey:
 class PlanStats:
     """Work counters of one plan, cumulative across executions."""
 
+    compiles: int = 0
     metric_evaluations: int = 0
     cache_hits: int = 0
     pairs_compared: int = 0
@@ -429,7 +430,7 @@ def compile_plan(
     if blocking is None and rcks and target is not None:
         blocking = SortedNeighborhoodBackend.from_rcks(rcks, window=window)
 
-    return EnforcementPlan(
+    plan = EnforcementPlan(
         pair=pair,
         sigma=sigma,
         rcks=rcks,
@@ -443,3 +444,8 @@ def compile_plan(
         cached=cached,
         cache_limit=cache_limit,
     )
+    # Each compile charges the new plan's own counter exactly once, so a
+    # caller holding one plan can assert it was compiled once (`compiles``
+    # stays 1 no matter how many executions the plan serves).
+    plan.stats.compiles = 1
+    return plan

@@ -1,0 +1,243 @@
+"""Workspace: one compile, agreeing execution modes, fingerprinted stores,
+and deprecation shims for the pre-spec entry points."""
+
+import pytest
+
+from repro.api import SpecBuilder, SpecError, Workspace
+from repro.core.schema import LEFT, RIGHT
+from repro.datagen.generator import figure1_instances
+from repro.datagen.schemas import paper_mds, paper_target
+from repro.engine import load_store, save_store
+
+
+@pytest.fixture
+def fig1_workspace():
+    pair, credit, billing = figure1_instances()
+    workspace = (
+        Workspace.builder()
+        .pair(pair)
+        .target(paper_target(pair))
+        .mds(paper_mds(pair))
+        .execution(mode="enforce")
+        .workspace()
+    )
+    return workspace, credit, billing
+
+
+def fig1_events(credit, billing):
+    return [(LEFT, row.values()) for row in credit] + [
+        (RIGHT, row.values()) for row in billing
+    ]
+
+
+class TestSingleCompile:
+    def test_plan_compiled_exactly_once_across_modes(self, fig1_workspace, monkeypatch):
+        import repro.api.workspace as workspace_module
+
+        workspace, credit, billing = fig1_workspace
+        calls = []
+        real_compile = workspace_module.compile_plan
+
+        def counting_compile(*args, **kwargs):
+            calls.append(1)
+            return real_compile(*args, **kwargs)
+
+        monkeypatch.setattr(workspace_module, "compile_plan", counting_compile)
+        workspace.deduce()
+        report = workspace.match(credit, billing)
+        matcher = workspace.stream()
+        matcher.ingest_stream(fig1_events(credit, billing))
+        workspace.explain()
+        assert len(calls) == 1
+        # ... and the plan's own counter agrees, before and after reuse.
+        assert report.stats["compiles"] == 1
+        assert workspace.plan.stats.compiles == 1
+        assert matcher.plan is workspace.plan
+
+    def test_report_carries_fingerprint_and_mode(self, fig1_workspace):
+        workspace, credit, billing = fig1_workspace
+        report = workspace.match(credit, billing)
+        assert report.fingerprint == workspace.fingerprint
+        assert report.mode == "enforce"
+        document = report.to_dict()
+        assert document["spec_fingerprint"] == workspace.fingerprint
+        assert document["matches"]
+
+
+class TestModesAgree:
+    def test_batch_stream_and_enforce_agree_from_one_spec(self, fig1_workspace):
+        workspace, credit, billing = fig1_workspace
+        batch = workspace.match(credit, billing)
+        enforced = workspace.enforce(credit, billing)
+        assert batch.matches == enforced.matches
+
+        matcher = workspace.stream()
+        matcher.ingest_stream(fig1_events(credit, billing))
+        streamed = {
+            pair
+            for cluster in matcher.store.clusters()
+            for pair in cluster.implied_pairs()
+        }
+        assert set(batch.matches) == streamed
+
+    def test_modes_agree_on_generated_stream(self, small_dataset):
+        from repro.datagen.schemas import extended_mds
+        from repro.datagen.streams import duplicate_burst_stream
+
+        sigma = extended_mds(small_dataset.pair)
+        workspace = (
+            SpecBuilder()
+            .pair(small_dataset.pair)
+            .target(small_dataset.target)
+            .mds(sigma)
+            .execution(mode="enforce")
+            .workspace()
+        )
+        matcher = workspace.stream()
+        matcher.ingest_stream(
+            duplicate_burst_stream(small_dataset, seed=5).events
+        )
+        streamed = {
+            (cluster.left_tids, cluster.right_tids)
+            for cluster in matcher.store.clusters()
+        }
+
+        candidates = matcher.store.blocking.candidates(
+            small_dataset.credit, small_dataset.billing
+        )
+        report = workspace.match(
+            small_dataset.credit, small_dataset.billing, candidates=candidates
+        )
+        batch = {
+            (cluster.left_tids, cluster.right_tids)
+            for cluster in report.clusters
+        }
+        assert streamed == batch
+
+    def test_direct_mode_provenance_names_keys(self, fig1_workspace):
+        workspace, credit, billing = fig1_workspace
+        direct = Workspace.from_dict(
+            {
+                **workspace.spec.to_dict(),
+                "execution": {
+                    **workspace.spec.to_dict()["execution"],
+                    "mode": "direct",
+                },
+            }
+        )
+        report = direct.match(credit, billing)
+        assert report.mode == "direct"
+        for pair in report.matches:
+            assert report.provenance[pair]
+            assert all(name.startswith("rck") for name in report.provenance[pair])
+
+    def test_enforce_mode_provenance_names_rules(self, fig1_workspace):
+        workspace, credit, billing = fig1_workspace
+        report = workspace.match(credit, billing)
+        assert any(
+            name.startswith("md")
+            for pair in report.matches
+            for name in report.provenance[pair]
+        )
+
+
+class TestValuePolicies:
+    def test_policy_changes_resolved_values(self, fig1_workspace):
+        workspace, credit, billing = fig1_workspace
+        spec_doc = workspace.spec.to_dict()
+        spec_doc["resolution"] = {"policy": "lexicographic-min"}
+        lexical = Workspace.from_dict(spec_doc)
+        assert lexical.spec.resolver()(["b", None, "a"]) == "a"
+        # Different policy, different fingerprint — snapshots can't mix.
+        assert lexical.fingerprint != workspace.fingerprint
+
+
+class TestSnapshotFingerprint:
+    def test_stream_restore_same_spec_roundtrips(self, fig1_workspace, tmp_path):
+        workspace, credit, billing = fig1_workspace
+        matcher = workspace.stream()
+        matcher.ingest_stream(fig1_events(credit, billing))
+        path = tmp_path / "store.json"
+        save_store(matcher.store, path)
+
+        restored = load_store(path)
+        assert restored.spec_fingerprint == workspace.fingerprint
+        resumed = workspace.stream(store=restored)
+        assert resumed.store.clusters() == matcher.store.clusters()
+
+    def test_stream_rejects_store_from_other_spec(self, fig1_workspace, tmp_path):
+        workspace, credit, billing = fig1_workspace
+        matcher = workspace.stream()
+        matcher.ingest_stream(fig1_events(credit, billing))
+        path = tmp_path / "store.json"
+        save_store(matcher.store, path)
+
+        other_doc = workspace.spec.to_dict()
+        other_doc["rules"]["top_k"] = 2
+        other = Workspace.from_dict(other_doc)
+        with pytest.raises(SpecError, match="built from spec"):
+            other.stream(store=load_store(path))
+
+    def test_legacy_store_is_stamped_on_first_use(self, fig1_workspace, tmp_path):
+        workspace, credit, billing = fig1_workspace
+        matcher = workspace.stream()
+        matcher.ingest_stream(fig1_events(credit, billing))
+        matcher.store.spec_fingerprint = None  # as restored from an old snapshot
+        path = tmp_path / "store.json"
+        save_store(matcher.store, path)
+
+        restored = load_store(path)
+        assert restored.spec_fingerprint is None
+        resumed = workspace.stream(store=restored)
+        assert resumed.store.spec_fingerprint == workspace.fingerprint
+
+
+class TestDeprecationShims:
+    def test_rck_matcher_warns_but_works(self, fig1_workspace):
+        from repro.matching.pipeline import RCKMatcher
+
+        workspace, credit, billing = fig1_workspace
+        keys = workspace.deduce()
+        with pytest.warns(DeprecationWarning, match="RCKMatcher"):
+            matcher = RCKMatcher(keys)
+        result = matcher.match(
+            credit, billing, candidates=list(workspace.candidates(credit, billing))
+        )
+        assert result.matches
+
+    def test_rck_matcher_from_mds_warns_once(self, pair, target, sigma, recwarn):
+        from repro.matching.pipeline import RCKMatcher
+
+        with pytest.warns(DeprecationWarning) as captured:
+            RCKMatcher.from_mds(sigma, target, top_k=5)
+        deprecations = [
+            warning
+            for warning in captured
+            if issubclass(warning.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_enforcement_matcher_warns_and_agrees(self, fig1_workspace):
+        from repro.matching.pipeline import EnforcementMatcher
+
+        workspace, credit, billing = fig1_workspace
+        with pytest.warns(DeprecationWarning, match="EnforcementMatcher"):
+            matcher = EnforcementMatcher(plan=workspace.plan)
+        result = matcher.match(credit, billing)
+        assert set(result.matches) == set(workspace.match(credit, billing).matches)
+
+    def test_incremental_matcher_legacy_ctor_warns(self, pair, target, sigma):
+        from repro.engine import IncrementalMatcher
+
+        with pytest.warns(DeprecationWarning, match="Workspace.stream"):
+            IncrementalMatcher(sigma, target, top_k=5)
+
+    def test_plan_sharing_ctor_does_not_warn(self, fig1_workspace, recwarn):
+        import warnings
+
+        from repro.engine import IncrementalMatcher
+
+        workspace, _, _ = fig1_workspace
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            IncrementalMatcher(plan=workspace.plan)

@@ -15,7 +15,6 @@ from hypothesis import strategies as st
 
 from repro.core.closure import ClosureEngine, md_closure_paper_loop
 from repro.core.matrix import AxiomaticClosure
-from repro.core.md import MatchingDependency
 from repro.core.similarity import EQUALITY
 from repro.datagen.mdgen import generate_workload
 

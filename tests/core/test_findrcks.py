@@ -13,7 +13,6 @@ from repro.core.findrcks import (
     pairing,
     sort_mds,
 )
-from repro.core.md import MatchingDependency
 from repro.core.quality import CostModel
 from repro.core.rck import RelativeKey
 from repro.datagen.mdgen import generate_workload

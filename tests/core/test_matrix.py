@@ -1,6 +1,5 @@
 """Unit tests for the similarity matrix and the union-find closure model."""
 
-import pytest
 
 from repro.core.matrix import AxiomaticClosure, SimilarityMatrix
 from repro.core.schema import LEFT, RIGHT, QualifiedAttribute

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.md import MatchingDependency
 from repro.core.negation import GuardedRuleSet, NegativeRule, find_conflicts
 from repro.matching.comparison import ComparisonSpec
 from repro.matching.rules import MatchRule, RuleSet

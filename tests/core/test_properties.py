@@ -19,7 +19,6 @@ from repro.core.closure import ClosureEngine
 from repro.core.findrcks import find_rcks
 from repro.core.md import MatchingDependency
 from repro.core.parser import format_md, parse_md
-from repro.core.rck import RelativeKey
 from repro.datagen.mdgen import generate_workload
 
 _seeds = st.integers(min_value=0, max_value=2000)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.md import MatchingDependency
 from repro.core.rck import RelativeKey, is_candidate
-from repro.core.schema import ComparableLists
 
 
 @pytest.fixture

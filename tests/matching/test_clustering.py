@@ -1,6 +1,5 @@
 """Tests for entity clustering of pairwise matches."""
 
-import pytest
 
 from repro.matching.clustering import (
     Cluster,

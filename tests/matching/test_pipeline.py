@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.findrcks import find_rcks
 from repro.matching.evaluate import evaluate_matches
 from repro.matching.pipeline import EnforcementMatcher, RCKMatcher
 

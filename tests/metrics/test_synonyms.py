@@ -105,7 +105,7 @@ class TestRegistration:
         from repro.core.md import MatchingDependency
         from repro.core.semantics import InstancePair, lhs_matches
         from repro.datagen.generator import figure1_instances
-        from repro.metrics.registry import MetricRegistry, default_registry
+        from repro.metrics.registry import default_registry
 
         registry = default_registry()
         register_synonym_metrics(registry, us_address_synonyms())

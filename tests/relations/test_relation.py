@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.schema import RelationSchema
-from repro.relations.relation import Relation, Row
+from repro.relations.relation import Relation
 
 
 @pytest.fixture

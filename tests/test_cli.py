@@ -339,3 +339,197 @@ class TestEngine:
         code = main(["engine", "stats", "--store", str(tmp_path / "no.json")])
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The spec-driven surface (PR 3): --spec, spec validate, deprecations
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def spec_file(schema_file, md_file, tmp_path):
+    """A ResolutionSpec equivalent to the legacy schema+MD fixtures."""
+    schema = json.loads(schema_file.read_text())
+    document = {
+        "version": 1,
+        "schema": {"left": schema["left"], "right": schema["right"]},
+        "target": schema["target"],
+        "rules": {
+            "mds": [
+                line.strip()
+                for line in md_file.read_text().splitlines()
+                if line.strip() and not line.strip().startswith("#")
+            ],
+            "top_k": 5,
+        },
+        "execution": {"mode": "direct"},
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(document))
+    return path
+
+
+class TestSpecValidate:
+    def test_valid_spec_exits_zero(self, spec_file, capsys):
+        assert main(["spec", "validate", str(spec_file)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_invalid_spec_reports_all_errors_and_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({
+            "version": 9,
+            "schema": {"left": {"name": "a", "attributes": ["x"]}},
+            "rules": {"mds": ["garbage"]},
+            "blocking": {"backend": "bogus"},
+            "resolution": {"policy": "coin-flip"},
+        }))
+        assert main(["spec", "validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        # Several independent problems, all reported in one run.
+        assert "unsupported spec version 9" in err
+        assert "bogus" in err
+        assert "coin-flip" in err
+        assert "error(s)" in err
+
+    def test_missing_spec_file_exits_two(self, tmp_path, capsys):
+        assert main(["spec", "validate", str(tmp_path / "no.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert main(["spec", "validate", str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestSpecDrivenCommands:
+    def test_match_spec_equals_flag_form(self, schema_file, md_file, spec_file,
+                                         tmp_path, capsys):
+        _, credit, billing = figure1_instances()
+        left_path = tmp_path / "credit.csv"
+        right_path = tmp_path / "billing.csv"
+        save_relation(credit, left_path)
+        save_relation(billing, right_path)
+
+        assert main(
+            ["match", "--spec", str(spec_file),
+             "--left", str(left_path), "--right", str(right_path)]
+        ) == 0
+        spec_out = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert main(
+                ["match", "--schema", str(schema_file), "--mds", str(md_file),
+                 "--left", str(left_path), "--right", str(right_path)]
+            ) == 0
+        flag_out = capsys.readouterr().out
+        assert spec_out == flag_out
+
+    def test_deduce_with_spec(self, spec_file, capsys):
+        assert main(["deduce", "--spec", str(spec_file)]) == 0
+        assert "RCK(s) relative to" in capsys.readouterr().out
+
+    def test_plan_explain_with_spec(self, spec_file, capsys):
+        assert main(["plan", "explain", "--spec", str(spec_file)]) == 0
+        output = capsys.readouterr().out
+        assert "Workspace: ResolutionSpec v1" in output
+        assert "EnforcementPlan over (credit, billing)" in output
+
+    def test_check_with_spec(self, spec_file, capsys):
+        code = main(
+            ["check", "--spec", str(spec_file),
+             "credit[email] = billing[email] & credit[tel] = billing[phn] -> "
+             "credit[gender] <=> billing[gender]"]
+        )
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_invalid_spec_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"version": 1}))
+        assert main(["deduce", "--spec", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_spec_conflicts_with_schema_flags(self, spec_file, schema_file, capsys):
+        code = main(
+            ["deduce", "--spec", str(spec_file), "--schema", str(schema_file)]
+        )
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_tuning_flag_overrides_spec(self, spec_file, capsys):
+        assert main(["deduce", "--spec", str(spec_file), "-m", "1"]) == 0
+        assert "# 1 RCK(s)" in capsys.readouterr().out
+
+    def test_json_with_output_writes_both(self, spec_file, tmp_path, capsys):
+        _, credit, billing = figure1_instances()
+        left_path = tmp_path / "credit.csv"
+        right_path = tmp_path / "billing.csv"
+        save_relation(credit, left_path)
+        save_relation(billing, right_path)
+        out_path = tmp_path / "matches.csv"
+        assert main(
+            ["match", "--spec", str(spec_file),
+             "--left", str(left_path), "--right", str(right_path),
+             "-o", str(out_path), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        with out_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(report["matches"])
+
+    def test_neither_spec_nor_flags_exits_two(self, capsys):
+        assert main(["deduce"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_flag_form_warns_deprecation(self, schema_file, md_file, capsys):
+        with pytest.warns(DeprecationWarning, match="--schema/--mds"):
+            assert main(
+                ["deduce", "--schema", str(schema_file), "--mds", str(md_file)]
+            ) == 0
+
+
+class TestEngineSpecFingerprint:
+    def test_ingest_rejects_store_from_other_spec(self, spec_file, tmp_path, capsys):
+        _, credit, billing = figure1_instances()
+        left_path = tmp_path / "credit.csv"
+        save_relation(credit, left_path)
+        store_path = tmp_path / "store.json"
+        assert main(
+            ["engine", "ingest", "--spec", str(spec_file),
+             "--store", str(store_path), "--left", str(left_path)]
+        ) == 0
+        capsys.readouterr()
+
+        # A materially different spec (other top_k) must be rejected.
+        document = json.loads(spec_file.read_text())
+        document["rules"]["top_k"] = 2
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(document))
+        code = main(
+            ["engine", "ingest", "--spec", str(other),
+             "--store", str(store_path), "--left", str(left_path)]
+        )
+        assert code == 2
+        assert "built from spec" in capsys.readouterr().err
+
+    def test_ingest_resumes_under_same_spec(self, spec_file, tmp_path, capsys):
+        _, credit, billing = figure1_instances()
+        left_path = tmp_path / "credit.csv"
+        right_path = tmp_path / "billing.csv"
+        save_relation(credit, left_path)
+        save_relation(billing, right_path)
+        store_path = tmp_path / "store.json"
+        assert main(
+            ["engine", "ingest", "--spec", str(spec_file),
+             "--store", str(store_path), "--left", str(left_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["engine", "ingest", "--spec", str(spec_file),
+             "--store", str(store_path), "--right", str(right_path), "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["left_rows"] == 2
+        assert stats["right_rows"] == 4
+        assert stats["matched_clusters"] == 1
+        assert stats["spec_fingerprint"]

@@ -11,7 +11,6 @@ import pytest
 from repro.core.closure import ClosureEngine, deduces
 from repro.core.findrcks import find_rcks
 from repro.core.parser import parse_mds
-from repro.core.rck import RelativeKey
 from repro.core.semantics import InstancePair, enforce, satisfies
 from repro.datagen.generator import generate_dataset
 from repro.datagen.mdgen import generate_workload
