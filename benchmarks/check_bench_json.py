@@ -54,6 +54,20 @@ SCHEMAS = {
         "plan_seconds": float,
         "naive_seconds": float,
     },
+    "plan_parallel_chase": {
+        "K": int,
+        "candidates": int,
+        "shards": int,
+        "workers": int,
+        "heaviest_bin_pairs": int,
+        "matches": int,
+        "matches_identical": int,
+        "parallel_chases": int,
+        "serial_seconds": float,
+        "parallel_seconds": float,
+        "wallclock_speedup": float,
+        "critical_path_speedup": float,
+    },
 }
 
 
@@ -103,6 +117,29 @@ def check_document(document: dict) -> list:
             )
         if document["plan_cache_hits"] <= 0:
             problems.append(f"{name}: similarity cache never hit")
+        if document["matches"] <= 0:
+            problems.append(f"{name}: no matches decided")
+    elif name == "plan_parallel_chase":
+        if document["matches_identical"] != 1:
+            problems.append(
+                f"{name}: parallel and serial chases decided different "
+                "matches"
+            )
+        if document["parallel_chases"] < 1:
+            problems.append(f"{name}: the pool never ran (serial fallback)")
+        if document["shards"] <= document["workers"]:
+            problems.append(
+                f"{name}: only {document['shards']} shard(s) for "
+                f"{document['workers']} workers — partitioning regressed"
+            )
+        # The deterministic acceptance bound (wallclock_speedup is
+        # reported but never checked here: shared runners, 1-2 cores).
+        if document["critical_path_speedup"] < 1.5:
+            problems.append(
+                f"{name}: critical-path speedup "
+                f"{document['critical_path_speedup']:.2f} regressed below "
+                "the asserted 1.5x"
+            )
         if document["matches"] <= 0:
             problems.append(f"{name}: no matches decided")
     return problems

@@ -61,6 +61,12 @@ def kernel_size():
     return 2000 if FULL else 1000
 
 
+def parallel_size():
+    if TINY:
+        return 300
+    return 4000 if FULL else 1500
+
+
 @pytest.fixture(scope="session")
 def bench_sizes():
     return matching_sizes()

@@ -230,6 +230,7 @@ class ResolutionSpec:
     max_cascade: int = 256
     cache: bool = True
     cache_limit: int = DEFAULT_CACHE_LIMIT
+    workers: int = 1
     _fingerprint: Optional[str] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -483,11 +484,13 @@ class ResolutionSpec:
         mode = "enforce"
         max_rounds, max_cascade = 100, 256
         cache, cache_limit = True, DEFAULT_CACHE_LIMIT
+        workers = 1
         if not isinstance(execution, dict):
             errors.append(f"execution: expected an object, got {execution!r}")
         else:
             unknown_exec = set(execution) - {
-                "mode", "max_rounds", "max_cascade", "cache", "cache_limit"
+                "mode", "max_rounds", "max_cascade", "cache", "cache_limit",
+                "workers",
             }
             if unknown_exec:
                 errors.append(f"execution: unknown key(s) {sorted(unknown_exec)}")
@@ -508,6 +511,8 @@ class ResolutionSpec:
                 )
             cache_limit = execution.get("cache_limit", DEFAULT_CACHE_LIMIT)
             _check_int(errors, "execution.cache_limit", cache_limit, 1)
+            workers = execution.get("workers", 1)
+            _check_int(errors, "execution.workers", workers, 1)
 
         metrics_section = document.get("metrics", {})
         metric_items: Tuple[Tuple[str, str], ...] = ()
@@ -542,6 +547,7 @@ class ResolutionSpec:
             max_cascade=max_cascade,
             cache=cache,
             cache_limit=cache_limit,
+            workers=workers,
         )
         return spec, []
 
@@ -597,6 +603,7 @@ class ResolutionSpec:
                 "max_cascade": self.max_cascade,
                 "cache": self.cache,
                 "cache_limit": self.cache_limit,
+                "workers": self.workers,
             },
         }
 
@@ -616,11 +623,21 @@ class ResolutionSpec:
         material change — a rule, a threshold, a backend parameter —
         changes it.  Engine snapshots embed it to reject restores under
         an incompatible spec.
+
+        ``execution.workers`` is excluded: the worker count is a
+        deployment knob that provably never changes results (the
+        parallel/serial differential suite pins this), so two specs
+        differing only in it share a fingerprint — and a snapshot built
+        serially restores under a parallel spec.
         """
         cached = self._fingerprint
         if cached is None:
+            document = self.to_dict()
+            execution = dict(document["execution"])
+            execution.pop("workers")
+            document["execution"] = execution
             payload = json.dumps(
-                self.to_dict(), sort_keys=True, separators=(",", ":")
+                document, sort_keys=True, separators=(",", ":")
             )
             cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
             object.__setattr__(self, "_fingerprint", cached)

@@ -253,6 +253,10 @@ class Workspace:
 
         ``left`` may be an :class:`~repro.core.semantics.InstancePair`
         (then ``right`` must be omitted) or the left relation of a pair.
+        With ``execution.workers > 1`` in the spec, the chase shards the
+        candidate pairs into connected components and runs them across a
+        process pool (:mod:`repro.plan.parallel`), falling back to the
+        serial loop on small inputs; results are identical either way.
         """
         plan = self.plan
         if isinstance(left, InstancePair):
@@ -271,6 +275,12 @@ class Workspace:
             resolver=self.spec.resolver(),
             candidate_pairs=candidates,
             max_rounds=self.spec.max_rounds,
+            workers=self.spec.workers,
+            # The canonical document is what worker processes rebuild the
+            # plan from (repro.plan.parallel); unused when workers == 1.
+            spec_document=(
+                self.spec.to_dict() if self.spec.workers > 1 else None
+            ),
         )
         target_pairs = plan.target.attribute_pairs()
         matches = [
@@ -365,7 +375,8 @@ class Workspace:
             f"# Workspace: ResolutionSpec v{spec.version}, "
             f"fingerprint {self.fingerprint}",
             f"# execution: mode={spec.mode}, policy={spec.policy}, "
-            f"top_k={spec.top_k}, cache={'on' if spec.cache else 'off'}",
+            f"top_k={spec.top_k}, cache={'on' if spec.cache else 'off'}, "
+            f"workers={spec.workers}",
             self.plan.explain(),
         ]
         return "\n".join(lines)

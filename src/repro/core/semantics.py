@@ -24,7 +24,7 @@ an earlier rule application relied on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 from repro.relations.relation import Relation
@@ -219,6 +219,19 @@ class _CellUnionFind:
         """All cells in the class of ``cell``."""
         return set(self._members[self.find(cell)])
 
+    def classes(self) -> List[Set[Cell]]:
+        """Every merged class with more than one member.
+
+        Singleton classes (cells only ever touched by :meth:`find`) carry
+        no identification and are omitted; the parallel merge step unions
+        per-shard results through this view.
+        """
+        return [
+            set(members)
+            for members in self._members.values()
+            if len(members) > 1
+        ]
+
     def same(self, a: Cell, b: Cell) -> bool:
         """Whether the two cells are currently in one class."""
         return self.find(a) == self.find(b)
@@ -242,6 +255,13 @@ class EnforcementResult:
         identified (the matcher reads match decisions from it).
     applications:
         Count of successful rule applications (new cell merges).
+    rounds_exhausted:
+        True when the chase stopped because ``max_rounds`` ran out while
+        merges were still happening *and* the result is not stable — a
+        partial extension, not a fixpoint (``rounds_exhausted`` implies
+        ``not stable``; a chase that converged on its last permitted
+        round is not exhausted).  Previously this case was silent;
+        callers that bound the chase should check (or assert) this flag.
     """
 
     instance: InstancePair
@@ -249,6 +269,7 @@ class EnforcementResult:
     rounds: int
     merged_cells: _CellUnionFind
     applications: int
+    rounds_exhausted: bool = False
 
     def identified(
         self, left_tid: int, right_tid: int, attribute_pairs: Iterable[Tuple[str, str]]

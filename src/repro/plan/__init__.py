@@ -7,7 +7,10 @@ similarity memo cache, a pluggable blocking backend, and the single
 enforcement-chase loop (:mod:`repro.plan.executor`) — shared by the batch
 matchers (:mod:`repro.matching.pipeline`), the streaming engine
 (:mod:`repro.engine`), the experiments, and the CLI
-(``repro plan explain``).
+(``repro plan explain``).  Large instances shard: candidate pairs split
+into connected components (:mod:`repro.plan.shard`) that chase in
+parallel worker processes (:mod:`repro.plan.parallel`), provably
+equivalent to the serial loop.
 
 Layering: :mod:`repro.plan` depends only on ``core``, ``metrics`` and
 ``relations``; the matching and engine layers depend on it, never the
@@ -49,8 +52,12 @@ from .compile import (
     compile_plan,
 )
 from .executor import chase
+from .parallel import PARALLEL_MIN_PAIRS, parallel_chase, plan_spec_document
+from .shard import Shard, assign_shards, shard_pairs
 
 __all__ = [
+    "PARALLEL_MIN_PAIRS",
+    "Shard",
     "BlockingBackend",
     "CompiledKey",
     "CompiledPredicate",
@@ -64,12 +71,16 @@ __all__ = [
     "RCKIndex",
     "RowKey",
     "SortedNeighborhoodBackend",
+    "assign_shards",
     "attribute_key",
     "chase",
     "compile_plan",
     "hash_candidates",
     "indexes_from_rcks",
     "leading_attribute_pairs",
+    "parallel_chase",
+    "plan_spec_document",
     "rck_sort_keys",
+    "shard_pairs",
     "window_candidates",
 ]

@@ -105,6 +105,11 @@ class PlanStats:
     rule_applications: int = 0
     chase_rounds: int = 0
     enforcements: int = 0
+    #: Parallel execution counters (repro.plan.parallel): connected
+    #: components chased, pool executions, and pool processes started.
+    shards: int = 0
+    parallel_chases: int = 0
+    workers_spawned: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -227,14 +232,41 @@ class EnforcementPlan:
         resolver=None,
         candidate_pairs: Optional[Sequence[Pair]] = None,
         max_rounds: int = 100,
+        workers: int = 1,
+        spec_document: Optional[Dict[str, object]] = None,
+        start_method: Optional[str] = None,
     ):
-        """Run the enforcement chase; see :func:`repro.plan.executor.chase`."""
+        """Run the enforcement chase; see :func:`repro.plan.executor.chase`.
+
+        ``workers > 1`` routes through the sharded parallel executor
+        (:func:`repro.plan.parallel.parallel_chase`), which needs a
+        ``spec_document`` to rebuild this plan in worker processes — it
+        falls back to the serial loop when one cannot be derived, when
+        the input is small, or when the pairs form one connected
+        component (the exact conditions are documented there).
+        """
         from repro.core.semantics import prefer_informative
 
+        resolver = resolver if resolver is not None else prefer_informative
+        if workers > 1:
+            from .parallel import parallel_chase, plan_spec_document
+
+            if spec_document is None:
+                spec_document = plan_spec_document(self)
+            return parallel_chase(
+                self,
+                instance,
+                spec_document=spec_document,
+                resolver=resolver,
+                candidate_pairs=candidate_pairs,
+                workers=workers,
+                max_rounds=max_rounds,
+                start_method=start_method,
+            )
         return chase(
             self,
             instance,
-            resolver=resolver if resolver is not None else prefer_informative,
+            resolver=resolver,
             candidate_pairs=candidate_pairs,
             max_rounds=max_rounds,
         )

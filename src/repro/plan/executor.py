@@ -72,6 +72,7 @@ def chase(
     rounds = 0
     shared = working.left is working.right
     active = pairs
+    merged_this_round = False
     while rounds < max_rounds:
         rounds += 1
         merged_this_round = False
@@ -106,9 +107,14 @@ def chase(
                     members = cells.members(cell)
                     if len(members) == 1:
                         continue
+                    # Feed the resolver a *sorted* member order: members()
+                    # returns a set, and set iteration order depends on
+                    # the process hash seed — an order-dependent policy
+                    # (first-non-null) would otherwise resolve differently
+                    # in spawn workers than in the serial parent.
                     values = [
                         _cell_value(working, member, shared)
-                        for member in members
+                        for member in sorted(members)
                     ]
                     resolved = resolver(values)
                     for member in members:
@@ -153,6 +159,15 @@ def chase(
                 break
         if not stable:
             break
+    # Exhaustion: the round budget ran out AND the result is not a
+    # fixpoint — the last permitted round still merged, or no round was
+    # permitted at all.  A chase whose last permitted round merged but
+    # left a stable instance did converge — further rounds could only
+    # merge cells that already carry equal values, never rewrite one —
+    # so only instability makes the cut-off observable.
+    rounds_exhausted = (merged_this_round or rounds == 0) and not stable
     stats.chase_rounds += rounds
     stats.rule_applications += applications
-    return EnforcementResult(working, stable, rounds, cells, applications)
+    return EnforcementResult(
+        working, stable, rounds, cells, applications, rounds_exhausted
+    )

@@ -1,0 +1,379 @@
+"""Chase candidate-pair shards across a ``multiprocessing`` pool.
+
+:func:`parallel_chase` is the parallel twin of
+:func:`repro.plan.executor.chase`.  The pipeline:
+
+1. :func:`repro.plan.shard.shard_pairs` splits the candidate pairs into
+   connected-component shards — pairs sharing no tuple chase
+   independently (see that module for why this is sound);
+2. the shards are packed into per-worker bins
+   (:func:`~repro.plan.shard.assign_shards`) and each bin is chased in a
+   worker process.  Compiled plans hold resolved metric callables and
+   closures, so they do not pickle; every worker instead **rebuilds the
+   plan from the pickled** :class:`~repro.api.spec.ResolutionSpec`
+   **document** once (pool initializer) and receives only its bin's rows
+   and pairs;
+3. the parent merges the per-shard results: it unions the per-shard
+   ``_CellUnionFind`` merge classes, applies the per-shard cell repairs,
+   and re-resolves every merged class once — idempotent when the shard
+   chases converged, and the safety net that keeps the merged instance
+   on-policy when they did not.
+
+**Fallback to the serial loop** (documented guarantee): the serial
+:func:`~repro.plan.executor.chase` runs instead whenever parallelism
+cannot pay or cannot be proven equivalent — fewer than ``min_pairs``
+candidate pairs (pool start-up dominates on small inputs), a single
+connected component (nothing to parallelize), ``workers <= 1``, no spec
+document to rebuild the plan from, or a resolver that is not the spec's
+named policy (worker processes can only look policies up by name).
+Either path returns the same :class:`~repro.core.semantics.EnforcementResult`
+contents for a converged chase; the differential suite
+(``tests/plan/test_parallel_equivalence.py``) and the Hypothesis
+properties (``tests/plan/test_chase_properties.py``) pin that claim.
+
+The pool start method follows ``multiprocessing``'s platform default;
+set ``REPRO_PARALLEL_START_METHOD=spawn|fork|forkserver`` (or pass
+``start_method``) to force one — CI runs the differential suite under
+both ``spawn`` and ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.parser import format_md
+from repro.core.schema import LEFT, RIGHT
+from repro.core.semantics import (
+    Cell,
+    EnforcementResult,
+    InstancePair,
+    ValueResolver,
+    _CellUnionFind,
+    prefer_informative,
+)
+from repro.relations.relation import Relation
+
+from .blocking import Pair
+from .executor import chase
+from .shard import assign_shards, shard_pairs
+
+#: Below this many candidate pairs the serial loop runs instead — pool
+#: start-up and plan re-compilation dominate any parallel win on small
+#: inputs.  (Tests monkeypatch this to force the pool on tiny data.)
+PARALLEL_MIN_PAIRS = 64
+
+#: Environment override for the pool start method (CI runs the
+#: differential suite under both ``spawn`` and ``fork``).
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+#: Row payload: tid -> attribute values.
+_Rows = Dict[int, Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker bin: the rows its pairs touch, and the pairs.
+
+    ``right_rows`` is ``None`` for a self-matching (shared) instance —
+    the worker then builds one relation serving both sides, mirroring
+    :meth:`~repro.core.semantics.InstancePair.copy` semantics.
+    """
+
+    left_rows: _Rows
+    right_rows: Optional[_Rows]
+    pairs: Tuple[Pair, ...]
+    max_rounds: int
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one worker bin's chase produced, in picklable form."""
+
+    groups: Tuple[Tuple[Cell, ...], ...]
+    updates: Tuple[Tuple[Cell, object], ...]
+    stable: bool
+    rounds: int
+    applications: int
+    rounds_exhausted: bool
+    metric_evaluations: int
+    cache_hits: int
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process state set by the pool initializer: (plan, resolver).
+_WORKER: Tuple[object, ValueResolver] = (None, prefer_informative)
+
+
+def _init_worker(spec_document: Dict[str, object]) -> None:
+    """Rebuild the compiled plan from the spec document, once per worker."""
+    global _WORKER
+    # Deliberate lazy import: repro.api sits above repro.plan in the
+    # layering; only worker processes (and the fallback guard) reach up.
+    from repro.api.workspace import Workspace
+
+    workspace = Workspace.from_dict(spec_document)
+    _WORKER = (workspace.plan, workspace.spec.resolver())
+
+
+def _run_task(task: ShardTask) -> ShardOutcome:
+    """Chase one bin against the worker's rebuilt plan."""
+    plan, resolver = _WORKER
+    left = Relation(plan.pair.left)
+    for tid in sorted(task.left_rows):
+        left.insert(task.left_rows[tid], tid=tid)
+    if task.right_rows is None:
+        right = left
+    else:
+        right = Relation(plan.pair.right)
+        for tid in sorted(task.right_rows):
+            right.insert(task.right_rows[tid], tid=tid)
+    instance = InstancePair(plan.pair, left, right)
+
+    stats = plan.stats
+    evaluations_before = stats.metric_evaluations
+    hits_before = stats.cache_hits
+    result = chase(
+        plan,
+        instance,
+        resolver=resolver,
+        candidate_pairs=list(task.pairs),
+        max_rounds=task.max_rounds,
+    )
+
+    updates: List[Tuple[Cell, object]] = []
+    sides = ((LEFT, task.left_rows, result.instance.left),)
+    if task.right_rows is not None:
+        sides += ((RIGHT, task.right_rows, result.instance.right),)
+    for side, original_rows, chased in sides:
+        for tid, original in original_rows.items():
+            row = chased[tid]
+            for attribute, value in original.items():
+                after = row[attribute]
+                if after != value:
+                    updates.append(((side, tid, attribute), after))
+    return ShardOutcome(
+        groups=tuple(
+            tuple(sorted(group)) for group in result.merged_cells.classes()
+        ),
+        updates=tuple(updates),
+        stable=result.stable,
+        rounds=result.rounds,
+        applications=result.applications,
+        rounds_exhausted=result.rounds_exhausted,
+        metric_evaluations=stats.metric_evaluations - evaluations_before,
+        cache_hits=stats.cache_hits - hits_before,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def plan_spec_document(plan) -> Optional[Dict[str, object]]:
+    """A ResolutionSpec document workers can rebuild ``plan`` from.
+
+    Pins the plan's exact rules: the MD text, the already-deduced RCK
+    triples, and the default resolution policy.  Returns ``None`` when
+    the plan is not expressible as a spec — compiled against a custom
+    metric registry (alias bindings are not recoverable from resolved
+    predicates) or without a target — in which case the caller must fall
+    back to the serial chase.  :class:`~repro.api.Workspace` callers
+    never need this: they pass their own spec's canonical document.
+    """
+    from repro.metrics.registry import DEFAULT_REGISTRY
+
+    if plan.registry is not DEFAULT_REGISTRY or plan.target is None:
+        return None
+    pair = plan.pair
+    return {
+        "version": 1,
+        "schema": {
+            "left": {
+                "name": pair.left.name,
+                "attributes": list(pair.left.attribute_names),
+            },
+            "right": {
+                "name": pair.right.name,
+                "attributes": list(pair.right.attribute_names),
+            },
+        },
+        "target": {
+            "left": list(plan.target.left_list),
+            "right": list(plan.target.right_list),
+        },
+        "rules": {
+            "mds": [format_md(dependency) for dependency in plan.sigma],
+            "rcks": [
+                [
+                    [atom.left, atom.right, atom.operator.name]
+                    for atom in key.atoms
+                ]
+                for key in plan.rcks
+            ],
+        },
+        # Workers must honor the parent plan's memoization settings —
+        # a caller that disabled the cache (or bounded its memory) would
+        # otherwise get the ~1M-entry default in every worker process.
+        "execution": {
+            "cache": plan.cached,
+            "cache_limit": plan.cache_limit,
+        },
+    }
+
+
+def _bin_tasks(
+    instance: InstancePair,
+    bins,
+    shared: bool,
+    max_rounds: int,
+) -> List[ShardTask]:
+    tasks = []
+    for bin_ in bins:
+        left_tids = sorted(set().union(*(shard.left_tids for shard in bin_)))
+        right_tids = sorted(set().union(*(shard.right_tids for shard in bin_)))
+        if shared:
+            left_rows = {
+                tid: instance.left[tid].values()
+                for tid in sorted(set(left_tids) | set(right_tids))
+            }
+            right_rows = None
+        else:
+            left_rows = {tid: instance.left[tid].values() for tid in left_tids}
+            right_rows = {
+                tid: instance.right[tid].values() for tid in right_tids
+            }
+        tasks.append(
+            ShardTask(
+                left_rows=left_rows,
+                right_rows=right_rows,
+                pairs=tuple(pair for shard in bin_ for pair in shard.pairs),
+                max_rounds=max_rounds,
+            )
+        )
+    return tasks
+
+
+def _policy_matches(spec_document, resolver: ValueResolver) -> bool:
+    """Is ``resolver`` exactly the document's named resolution policy?
+
+    Workers look resolvers up by name; an anonymous callable cannot be
+    shipped, so a mismatch forces the serial path.
+    """
+    from repro.api.spec import VALUE_POLICIES
+
+    section = spec_document.get("resolution", {})
+    policy = "prefer-informative"
+    if isinstance(section, dict):
+        policy = section.get("policy", "prefer-informative")
+    return VALUE_POLICIES.get(policy) is resolver
+
+
+def parallel_chase(
+    plan,
+    instance: InstancePair,
+    spec_document: Optional[Dict[str, object]] = None,
+    resolver: ValueResolver = prefer_informative,
+    candidate_pairs: Optional[Sequence[Pair]] = None,
+    workers: int = 1,
+    max_rounds: int = 100,
+    min_pairs: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> EnforcementResult:
+    """Chase ``instance`` in parallel; serial fallback when it cannot pay.
+
+    Equivalent to :func:`~repro.plan.executor.chase` on the same inputs
+    (same merged classes, repaired values, match decisions); see the
+    module docstring for the shard/merge construction and the exact
+    fallback conditions.  Only ``rounds`` differs observably in stats:
+    the serial loop counts global rounds, the parallel path reports the
+    maximum over its shard bins — the same number whenever the chase
+    converges.
+    """
+    pairs: List[Pair] = (
+        list(candidate_pairs)
+        if candidate_pairs is not None
+        else list(instance.tuple_pairs())
+    )
+    threshold = PARALLEL_MIN_PAIRS if min_pairs is None else min_pairs
+    shared = instance.left is instance.right
+
+    def serial() -> EnforcementResult:
+        return chase(
+            plan,
+            instance,
+            resolver=resolver,
+            candidate_pairs=pairs,
+            max_rounds=max_rounds,
+        )
+
+    if (
+        workers <= 1
+        or spec_document is None
+        or len(pairs) < threshold
+        or not _policy_matches(spec_document, resolver)
+    ):
+        return serial()
+    shards = shard_pairs(pairs, shared=shared)
+    if len(shards) <= 1:
+        return serial()
+
+    bins = assign_shards(shards, workers)
+    tasks = _bin_tasks(instance, bins, shared, max_rounds)
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    context = multiprocessing.get_context(method)
+    with context.Pool(
+        processes=len(bins), initializer=_init_worker, initargs=(spec_document,)
+    ) as pool:
+        outcomes = pool.map(_run_task, tasks)
+
+    working = instance.copy()
+    cells = _CellUnionFind()
+    for outcome in outcomes:
+        for group in outcome.groups:
+            anchor = group[0]
+            for member in group[1:]:
+                cells.union(anchor, member)
+        for (side, tid, attribute), value in outcome.updates:
+            relation = working.left if side == LEFT else working.right
+            relation.set_value(tid, attribute, value)
+
+    # Re-resolve every merged class once over the merged instance — a
+    # no-op when the shard chases converged (each class already carries
+    # its resolved value), and the documented single resolution pass
+    # otherwise.
+    for members in cells.classes():
+        values = []
+        for side, tid, attribute in sorted(members):
+            relation = working.left if side == LEFT else working.right
+            values.append(relation[tid][attribute])
+        resolved = resolver(values)
+        for side, tid, attribute in members:
+            relation = working.left if side == LEFT else working.right
+            if relation[tid][attribute] != resolved:
+                relation.set_value(tid, attribute, resolved)
+
+    stats = plan.stats
+    stats.enforcements += 1
+    stats.pairs_compared += len(pairs)
+    stats.chase_rounds += max(outcome.rounds for outcome in outcomes)
+    stats.rule_applications += sum(o.applications for o in outcomes)
+    stats.metric_evaluations += sum(o.metric_evaluations for o in outcomes)
+    stats.cache_hits += sum(o.cache_hits for o in outcomes)
+    stats.shards += len(shards)
+    stats.parallel_chases += 1
+    stats.workers_spawned += len(bins)
+    return EnforcementResult(
+        instance=working,
+        stable=all(outcome.stable for outcome in outcomes),
+        rounds=max(outcome.rounds for outcome in outcomes),
+        merged_cells=cells,
+        applications=sum(outcome.applications for outcome in outcomes),
+        rounds_exhausted=any(outcome.rounds_exhausted for outcome in outcomes),
+    )

@@ -1,0 +1,115 @@
+"""Partition candidate pairs into independently chaseable shards.
+
+The chase (:mod:`repro.plan.executor`) only ever touches cells of tuples
+that appear in some candidate pair: a rule application merges cells of
+the two paired tuples, and the per-round repair rewrites only cells of
+merged classes.  Two candidate pairs that share no tuple therefore
+cannot influence each other — the connected components of the pair
+graph (tuples as nodes, candidate pairs as edges) chase to exactly the
+same merges, repairs and stability verdicts whether they run in one
+loop or in isolation.  That is what makes the kernel shardable: the
+paper's semantics are order-independent up to the resolver, and the
+resolver only ever sees one merged class, which never spans components.
+
+:func:`shard_pairs` computes the components; :func:`assign_shards`
+packs them into per-worker bins balanced by pair count (longest
+processing time first), so :mod:`repro.plan.parallel` can chase each
+bin in its own process.  Both are deterministic: same pairs in, same
+shards and bins out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.schema import LEFT, RIGHT
+
+from .blocking import Pair
+
+#: A shard node: (side, tuple id) — or (LEFT, tid) for both occurrences
+#: of a tuple when the instance is shared (self-matching).
+_Node = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One connected component of the candidate-pair graph.
+
+    ``pairs`` keeps the input ordering (the chase scans pairs in order,
+    so per-shard executions replay the serial scan order restricted to
+    the component); the tid sets say which tuples a worker must receive.
+    """
+
+    pairs: Tuple[Pair, ...]
+    left_tids: FrozenSet[int]
+    right_tids: FrozenSet[int]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def shard_pairs(pairs: Sequence[Pair], shared: bool = False) -> List[Shard]:
+    """The connected components of the candidate pairs, as shards.
+
+    ``shared`` marks a self-matching instance (both sides are one
+    relation): the same tid on either side is then one node, so a tuple
+    appearing as left in one pair and right in another correctly pulls
+    both pairs into one shard.
+
+    Shards are ordered by the position of their first pair in the input,
+    and each shard's pairs keep their input order — a serial chase over
+    the concatenation of all shards scans pairs exactly like a serial
+    chase over the input.
+    """
+    parent: Dict[_Node, _Node] = {}
+
+    def find(node: _Node) -> _Node:
+        root = parent.setdefault(node, node)
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def node_of(side: int, tid: int) -> _Node:
+        return (LEFT, tid) if shared else (side, tid)
+
+    for left_tid, right_tid in pairs:
+        root_a = find(node_of(LEFT, left_tid))
+        root_b = find(node_of(RIGHT, right_tid))
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    grouped: Dict[_Node, List[Pair]] = {}
+    for pair in pairs:
+        grouped.setdefault(find(node_of(LEFT, pair[0])), []).append(pair)
+
+    shards = []
+    for component in grouped.values():
+        left_tids = frozenset(left_tid for left_tid, _ in component)
+        right_tids = frozenset(right_tid for _, right_tid in component)
+        shards.append(Shard(tuple(component), left_tids, right_tids))
+    return shards
+
+
+def assign_shards(shards: Sequence[Shard], workers: int) -> List[List[Shard]]:
+    """Pack shards into at most ``workers`` bins, balanced by pair count.
+
+    Greedy longest-processing-time: shards are placed largest first into
+    the currently lightest bin (ties broken by bin index, keeping the
+    assignment deterministic).  Empty bins are dropped, so the result has
+    ``min(workers, len(shards))`` entries.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    bins: List[List[Shard]] = [[] for _ in range(min(workers, len(shards)))]
+    loads = [0] * len(bins)
+    order = sorted(
+        range(len(shards)), key=lambda index: (-len(shards[index]), index)
+    )
+    for index in order:
+        lightest = loads.index(min(loads))
+        bins[lightest].append(shards[index])
+        loads[lightest] += len(shards[index])
+    return [bin_ for bin_ in bins if bin_]

@@ -86,6 +86,18 @@ class TestFingerprint:
         document["rules"]["top_k"] = 3
         assert ResolutionSpec.from_dict(document).fingerprint() != base
 
+    def test_workers_is_not_material(self, document):
+        """The worker count never changes results, so never the hash.
+
+        Engine snapshots embed the fingerprint; a store built serially
+        must restore under a spec that merely turns parallelism on.
+        """
+        base = ResolutionSpec.from_dict(document).fingerprint()
+        document["execution"] = {"workers": 8}
+        spec = ResolutionSpec.from_dict(document)
+        assert spec.workers == 8
+        assert spec.fingerprint() == base
+
 
 class TestValidation:
     def test_unknown_version_is_actionable(self, document):
@@ -132,6 +144,11 @@ class TestValidation:
         errors = ResolutionSpec.validate_document(document)
         assert any("coin-flip" in error for error in errors)
         assert any("psychic" in error for error in errors)
+
+    def test_workers_must_be_a_positive_int(self, document):
+        document["execution"] = {"workers": 0}
+        errors = ResolutionSpec.validate_document(document)
+        assert any("execution.workers" in error for error in errors)
 
     def test_all_errors_reported_at_once(self, document):
         document["version"] = 2

@@ -1,0 +1,346 @@
+"""Differential suite: the sharded parallel chase ≡ the serial chase.
+
+For every :mod:`repro.datagen.streams` arrival scenario and a set of
+randomized dataset seeds, matching through :class:`repro.api.Workspace`
+with ``execution.workers`` of 1, 2 and 4 must produce *identical*
+MatchReports — same pairs, same clusters, same provenance, and (because
+the worker count is excluded from the fingerprint by design) the same
+spec fingerprint.  A value-level test additionally pins that the chased
+instances agree cell by cell, and a shared-instance (self-matching)
+test covers the deduplication path.
+
+The specs use hash blocking with ``key_length=2`` so the candidate
+pairs split into many connected components (sorted-neighborhood windows
+chain everything into one component, which correctly falls back to the
+serial loop — also asserted here), and the parallel threshold is
+monkeypatched to 0 so even these test-sized inputs actually cross the
+process pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.api import Workspace
+from repro.core.semantics import InstancePair
+from repro.datagen.generator import generate_dataset
+from repro.datagen.schemas import extended_mds
+from repro.datagen.streams import (
+    arrival_stream,
+    duplicate_burst_stream,
+    late_duplicate_stream,
+)
+from repro.experiments.harness import resolution_spec_document
+from repro.plan import parallel
+from repro.relations.relation import Relation
+
+SCENARIOS = {
+    "arrival": arrival_stream,
+    "duplicate-burst": duplicate_burst_stream,
+    "late-duplicate": late_duplicate_stream,
+}
+
+#: Randomized dataset seeds the differential suite sweeps.
+SEEDS = (3, 11)
+
+
+@pytest.fixture(autouse=True)
+def force_pool(monkeypatch):
+    """Drop the serial fallback threshold so the pool runs on test data."""
+    monkeypatch.setattr(parallel, "PARALLEL_MIN_PAIRS", 0)
+
+
+def _scenario_relations(dataset, make_stream, seed):
+    """The dataset's relations rebuilt in the scenario's arrival order.
+
+    Tuple ids are preserved (so reports are comparable across
+    scenarios); only row insertion order — and therefore blocking/chase
+    scan order — differs, which is exactly the perturbation the
+    differential suite wants.
+    """
+    workload = make_stream(dataset, seed=seed)
+    left = Relation(dataset.pair.left)
+    right = Relation(dataset.pair.right)
+    for event in workload.events:
+        target = left if event.side == 0 else right
+        target.insert(event.values, tid=event.tid)
+    return left, right
+
+
+def _workspace(dataset, workers, **blocking):
+    document = resolution_spec_document(
+        dataset.pair,
+        dataset.target,
+        extended_mds(dataset.pair),
+        blocking={"backend": "hash", "key_length": 2, **blocking},
+        execution={"mode": "enforce", "workers": workers},
+    )
+    return Workspace.from_dict(document)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS), ids=sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_and_serial_reports_identical(scenario, seed):
+    dataset = generate_dataset(120, seed=seed)
+    left, right = _scenario_relations(dataset, SCENARIOS[scenario], seed)
+
+    serial_workspace = _workspace(dataset, workers=1)
+    serial = serial_workspace.match(left, right)
+    assert serial_workspace.plan.stats.parallel_chases == 0
+
+    for workers in (2, 4):
+        workspace = _workspace(dataset, workers=workers)
+        report = workspace.match(left, right)
+        assert report.matches == serial.matches
+        assert report.candidates == serial.candidates
+        assert report.clusters == serial.clusters
+        assert report.provenance == serial.provenance
+        # The worker count is a deployment knob: same fingerprint.
+        assert report.fingerprint == serial.fingerprint
+        assert workspace.plan.stats.parallel_chases == 1
+        assert workspace.plan.stats.workers_spawned <= workers
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_and_serial_resolved_values_identical(seed):
+    """Cell-level equivalence: the chased instances agree everywhere."""
+    dataset = generate_dataset(120, seed=seed)
+    serial_workspace = _workspace(dataset, workers=1)
+    plan = serial_workspace.plan
+    candidates = plan.candidates(dataset.credit, dataset.billing)
+
+    def chased_values(workers):
+        workspace = _workspace(dataset, workers=workers)
+        result = workspace.plan.enforce(
+            InstancePair(workspace.plan.pair, dataset.credit, dataset.billing),
+            candidate_pairs=candidates,
+            workers=workers,
+            spec_document=workspace.spec.to_dict(),
+        )
+        assert result.stable
+        assert not result.rounds_exhausted
+        return {
+            (side, row.tid): row.values()
+            for side, relation in (
+                (0, result.instance.left), (1, result.instance.right)
+            )
+            for row in relation
+        }
+
+    serial_values = chased_values(1)
+    for workers in (2, 4):
+        assert chased_values(workers) == serial_values
+
+
+def test_self_matching_shared_instance_equivalent():
+    """Deduplication (left is right) shards by tuple, not by side.
+
+    A tuple appearing as left in one pair and right in another must land
+    in one shard; the parallel chase on a shared instance therefore
+    ships each bin as a single relation serving both sides.
+    """
+    import random
+
+    rng = random.Random(9)
+    schema_doc = {"name": "R", "attributes": ["A", "B", "C"]}
+    document = {
+        "version": 1,
+        "schema": {"left": schema_doc, "right": schema_doc},
+        "target": {"left": ["B"], "right": ["B"]},
+        "rules": {"mds": ["R[A] = R[A] -> R[B] <=> R[B]"]},
+        "execution": {"mode": "enforce", "workers": 4},
+    }
+    workspace = Workspace.from_dict(document)
+    plan = workspace.plan
+    relation = Relation(plan.pair.left)
+    for group in range(30):
+        for member in range(rng.randint(2, 4)):
+            relation.insert({
+                "A": f"key-{group}",
+                "B": f"value-{group}" if member == 0 else None,
+                "C": member,
+            })
+    # Hash-style candidates on A: only same-group pairs, so the pair
+    # graph has one component per group.
+    by_key = {}
+    for row in relation:
+        by_key.setdefault(row["A"], []).append(row.tid)
+    pairs = [
+        (a, b)
+        for tids in by_key.values()
+        for position, a in enumerate(tids)
+        for b in tids[position + 1 :]
+    ]
+    instance = InstancePair(plan.pair, relation, relation)
+
+    serial = plan.enforce(instance, candidate_pairs=pairs)
+    result = plan.enforce(
+        instance,
+        candidate_pairs=pairs,
+        workers=4,
+        spec_document=workspace.spec.to_dict(),
+    )
+    assert plan.stats.parallel_chases == 1
+    target_pairs = plan.target.attribute_pairs()
+    for pair in pairs:
+        assert result.identified(*pair, target_pairs) == serial.identified(
+            *pair, target_pairs
+        )
+    for tid in relation.tids():
+        assert (
+            result.instance.left[tid].values()
+            == serial.instance.left[tid].values()
+        )
+        # Every group's nulls were repaired to the informative value.
+        assert result.instance.left[tid]["B"] is not None
+    # The shared copy stays shared after the parallel merge.
+    assert result.instance.left is result.instance.right
+
+
+def test_sorted_neighborhood_single_component_falls_back_to_serial():
+    """SN windows chain tuples into one component: documented fallback."""
+    dataset = generate_dataset(120, seed=3)
+    document = resolution_spec_document(
+        dataset.pair,
+        dataset.target,
+        extended_mds(dataset.pair),
+        blocking={"backend": "sorted-neighborhood", "window": 10},
+        execution={"mode": "enforce", "workers": 4},
+    )
+    workspace = Workspace.from_dict(document)
+    report = workspace.match(dataset.credit, dataset.billing)
+    assert workspace.plan.stats.parallel_chases == 0  # fell back
+    serial = Workspace.from_dict(
+        {**document, "execution": {"mode": "enforce", "workers": 1}}
+    ).match(dataset.credit, dataset.billing)
+    assert report.matches == serial.matches
+    assert report.fingerprint == serial.fingerprint
+
+
+def test_order_dependent_policy_identical_under_spawn():
+    """'first-non-null' picks by *order* — spawn workers must agree.
+
+    The repair pass feeds the resolver a sorted member order precisely
+    so that order-dependent policies resolve identically in the serial
+    parent and in spawn workers (whose fresh hash seeds would otherwise
+    reorder set iteration).
+    """
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("platform has no spawn start method")
+    dataset = generate_dataset(80, seed=3)
+    document = resolution_spec_document(
+        dataset.pair,
+        dataset.target,
+        extended_mds(dataset.pair),
+        blocking={"backend": "hash", "key_length": 2},
+        execution={"mode": "enforce"},
+    )
+    document["resolution"] = {"policy": "first-non-null"}
+
+    def chased_values(workers, start_method=None):
+        workspace = Workspace.from_dict(document)
+        result = workspace.plan.enforce(
+            InstancePair(workspace.plan.pair, dataset.credit, dataset.billing),
+            resolver=workspace.spec.resolver(),
+            candidate_pairs=workspace.plan.candidates(
+                dataset.credit, dataset.billing
+            ),
+            workers=workers,
+            spec_document=workspace.spec.to_dict(),
+            start_method=start_method,
+        )
+        return {
+            (side, row.tid): row.values()
+            for side, relation in (
+                (0, result.instance.left), (1, result.instance.right)
+            )
+            for row in relation
+        }
+
+    assert chased_values(1) == chased_values(2, start_method="spawn")
+
+
+def test_plan_spec_document_carries_cache_settings():
+    """Workers must inherit the parent plan's memoization bounds."""
+    from repro.plan import compile_plan
+    from repro.plan.parallel import plan_spec_document
+
+    dataset = generate_dataset(40, seed=3)
+    sigma = extended_mds(dataset.pair)
+    plan = compile_plan(sigma, dataset.target, cached=False, cache_limit=777)
+    document = plan_spec_document(plan)
+    assert document["execution"] == {"cache": False, "cache_limit": 777}
+    rebuilt = Workspace.from_dict(document)
+    assert rebuilt.plan.cached is False
+    assert rebuilt.plan.cache_limit == 777
+
+
+def test_enforcement_matcher_workers_path():
+    """The legacy batch matcher parallelizes too — no spec in sight.
+
+    It holds only a compiled plan, so the worker document comes from
+    :func:`repro.plan.parallel.plan_spec_document`, which pins the
+    plan's MDs and already-deduced RCKs; a plan compiled against a
+    custom registry is not expressible and must stay serial.
+    """
+    from repro.matching.pipeline import EnforcementMatcher
+    from repro.metrics.registry import default_registry
+    from repro.plan import compile_plan
+    from repro.plan.blocking import HashBlockingBackend
+    from repro.plan.parallel import plan_spec_document
+
+    dataset = generate_dataset(120, seed=3)
+    sigma = extended_mds(dataset.pair)
+    plan = compile_plan(sigma, dataset.target, top_k=5)
+    candidates = HashBlockingBackend.per_rck(plan.rcks, key_length=2).candidates(
+        dataset.credit, dataset.billing
+    )
+
+    serial = EnforcementMatcher(plan=plan).match(
+        dataset.credit, dataset.billing, candidates=candidates
+    )
+    pooled_plan = compile_plan(sigma, dataset.target, top_k=5)
+    pooled = EnforcementMatcher(plan=pooled_plan, workers=2).match(
+        dataset.credit, dataset.billing, candidates=candidates
+    )
+    assert pooled_plan.stats.parallel_chases == 1
+    assert pooled.matches == serial.matches
+
+    # A custom registry cannot be shipped by name: document is None and
+    # the chase stays serial (still correct, just not parallel).
+    custom_plan = compile_plan(
+        sigma, dataset.target, top_k=5, registry=default_registry()
+    )
+    assert plan_spec_document(custom_plan) is None
+    fallback = EnforcementMatcher(plan=custom_plan, workers=2).match(
+        dataset.credit, dataset.billing, candidates=candidates
+    )
+    assert custom_plan.stats.parallel_chases == 0
+    assert fallback.matches == serial.matches
+
+
+def test_spawn_start_method_supported():
+    """The pool works under 'spawn' (CI also runs the suite under both)."""
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("platform has no spawn start method")
+    dataset = generate_dataset(80, seed=3)
+    workspace = _workspace(dataset, workers=2)
+    candidates = workspace.plan.candidates(dataset.credit, dataset.billing)
+    result = workspace.plan.enforce(
+        InstancePair(workspace.plan.pair, dataset.credit, dataset.billing),
+        candidate_pairs=candidates,
+        workers=2,
+        spec_document=workspace.spec.to_dict(),
+        start_method="spawn",
+    )
+    assert workspace.plan.stats.parallel_chases == 1
+    serial = _workspace(dataset, workers=1).enforce(
+        dataset.credit, dataset.billing, candidates=candidates
+    )
+    target_pairs = workspace.plan.target.attribute_pairs()
+    parallel_matches = [
+        pair for pair in candidates if result.identified(*pair, target_pairs)
+    ]
+    assert tuple(parallel_matches) == serial.matches
