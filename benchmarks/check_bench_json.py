@@ -10,13 +10,21 @@ runners:
 * every known benchmark document carries its required keys with the
   right types;
 * cross-field invariants hold (the kernel charges fewer evaluations
-  than the naive path, the streaming engine beats batch re-runs, ...).
+  than the naive path, the streaming engine beats batch re-runs, ...);
+* an optional ``metrics`` key must be a
+  :class:`repro.obs.metrics.MetricsRegistry` rendering — ``counters`` /
+  ``gauges`` / ``histograms`` objects, each histogram summary carrying
+  ``count`` and (when non-empty) ``p50``/``p95``/``p99``.
 
 Exit status 0 when every line passes, 1 with a per-line report otherwise.
 
 Usage::
 
-    python benchmarks/check_bench_json.py bench.json
+    python benchmarks/check_bench_json.py bench.json [more.json ...]
+
+Several files may be named (CI passes the fresh smoke output and the
+committed ``benchmarks/baselines/BENCH_*.json`` together); each is
+checked independently.
 """
 
 from __future__ import annotations
@@ -68,7 +76,52 @@ SCHEMAS = {
         "wallclock_speedup": float,
         "critical_path_speedup": float,
     },
+    "obs_tracer_overhead": {
+        "K": int,
+        "traced_off_events": int,
+        "traced_on_events": int,
+        "noop_call_seconds": float,
+        "untraced_seconds": float,
+        "overhead_fraction": float,
+        "reports_identical": int,
+    },
 }
+
+#: Keys every histogram summary in a ``metrics`` payload must carry
+#: when it observed anything.
+_HISTOGRAM_KEYS = ("count", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def check_metrics(name: str, metrics: object) -> list:
+    """Problems with a document's ``metrics`` payload (registry shape)."""
+    if not isinstance(metrics, dict):
+        return [f"{name}: 'metrics' must be an object"]
+    problems = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            problems.append(f"{name}: metrics missing '{section}' object")
+    for counter, value in (metrics.get("counters") or {}).items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(
+                f"{name}: metrics counter {counter!r} is not an integer"
+            )
+    for histogram, summary in (metrics.get("histograms") or {}).items():
+        if not isinstance(summary, dict) or "count" not in summary:
+            problems.append(
+                f"{name}: metrics histogram {histogram!r} has no 'count'"
+            )
+            continue
+        if not summary["count"]:
+            continue
+        for key in _HISTOGRAM_KEYS:
+            if not isinstance(summary.get(key), (int, float)) or isinstance(
+                summary.get(key), bool
+            ):
+                problems.append(
+                    f"{name}: metrics histogram {histogram!r} missing "
+                    f"or mistyped {key!r}"
+                )
+    return problems
 
 
 def check_document(document: dict) -> list:
@@ -91,6 +144,8 @@ def check_document(document: dict) -> list:
                 f"{name}: key {key!r} has type {type(value).__name__}, "
                 f"expected {expected.__name__}"
             )
+    if "metrics" in document:
+        problems.extend(check_metrics(name, document["metrics"]))
     if problems:
         return problems
 
@@ -142,14 +197,30 @@ def check_document(document: dict) -> list:
             )
         if document["matches"] <= 0:
             problems.append(f"{name}: no matches decided")
+    elif name == "obs_tracer_overhead":
+        if document["traced_off_events"] != 0:
+            problems.append(
+                f"{name}: tracing-off run recorded "
+                f"{document['traced_off_events']} span(s); the null tracer "
+                "must record none"
+            )
+        if document["traced_on_events"] <= 0:
+            problems.append(f"{name}: tracing-on run recorded no spans")
+        if document["overhead_fraction"] >= 0.02:
+            problems.append(
+                f"{name}: no-op instrumentation overhead "
+                f"{document['overhead_fraction']:.4f} regressed above the "
+                "asserted 2%"
+            )
+        if document["reports_identical"] != 1:
+            problems.append(
+                f"{name}: traced and untraced runs decided different matches"
+            )
     return problems
 
 
-def main(argv) -> int:
-    if len(argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    path = Path(argv[1])
+def check_file(path: Path) -> int:
+    """Check one benchmark JSON-lines file; returns the failure count."""
     if not path.exists():
         print(f"error: {path} does not exist", file=sys.stderr)
         return 1
@@ -166,18 +237,26 @@ def main(argv) -> int:
         try:
             document = json.loads(line)
         except json.JSONDecodeError as error:
-            print(f"line {number}: invalid JSON ({error})", file=sys.stderr)
+            print(f"{path}:{number}: invalid JSON ({error})", file=sys.stderr)
             failures += 1
             continue
         seen.add(document.get("benchmark"))
         for problem in check_document(document):
-            print(f"line {number}: {problem}", file=sys.stderr)
+            print(f"{path}:{number}: {problem}", file=sys.stderr)
             failures += 1
     if failures:
         print(f"{failures} problem(s) in {path}", file=sys.stderr)
-        return 1
-    print(f"ok: {len(lines)} benchmark document(s), {sorted(seen)}")
-    return 0
+    else:
+        print(f"ok: {path}: {len(lines)} benchmark document(s), {sorted(seen)}")
+    return failures
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = sum(check_file(Path(arg)) for arg in argv[1:])
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ import os
 from pathlib import Path
 
 from repro.experiments import exp_blocking
+from repro.obs import MetricsRegistry
 
 from conftest import kernel_size
 
@@ -41,6 +42,17 @@ def test_kernel_fewer_metric_evaluations_than_naive(benchmark):
         exp_blocking.run_kernel_point, args=(size,), kwargs={"seed": 3},
         rounds=1, iterations=1, warmup_rounds=0,
     )
+    # Emit the measurements through the one metrics pipeline the rest of
+    # the stack reports with (repro.obs), so BENCH JSON and MatchReport
+    # stats share a schema.
+    registry = MetricsRegistry()
+    registry.count("kernel.candidates", record["candidates"])
+    registry.count("kernel.matches", record["matches"])
+    registry.count("kernel.plan_evaluations", record["plan evaluations"])
+    registry.count("kernel.plan_cache_hits", record["plan cache hits"])
+    registry.count("kernel.naive_evaluations", record["naive evaluations"])
+    registry.observe("kernel.plan_seconds", record["plan seconds"])
+    registry.observe("kernel.naive_seconds", record["naive seconds"])
     _emit({
         "benchmark": "plan_kernel_vs_naive",
         "K": record["K"],
@@ -52,6 +64,7 @@ def test_kernel_fewer_metric_evaluations_than_naive(benchmark):
         "evaluation_saving": record["evaluation saving"],
         "plan_seconds": record["plan seconds"],
         "naive_seconds": record["naive seconds"],
+        "metrics": registry.as_dict(),
     })
     assert record["candidates"] > 0
     assert record["matches"] > 0

@@ -97,7 +97,16 @@ def run_parallel_point(size: int, seed: int = 3):
     ]
     serial_matches = matches(serial_result)
     parallel_matches = matches(parallel_result)
+    # The plan observed chase.rounds/chase.seconds into its registry
+    # during both runs; report them alongside the benchmark's own
+    # timings, all in the repro.obs schema.
+    registry = workspace.metrics
+    registry.count("parallel.shards", len(shards))
+    registry.count("parallel.workers", WORKERS)
+    registry.observe("parallel.serial_seconds", serial_seconds)
+    registry.observe("parallel.parallel_seconds", parallel_seconds)
     return {
+        "metrics": registry.as_dict(),
         "benchmark": "plan_parallel_chase",
         "K": size,
         "candidates": len(candidates),

@@ -41,6 +41,7 @@ from repro.metrics.registry import (
     MetricRegistry,
     default_registry,
 )
+from repro.obs.export import TRACE_FORMATS
 from repro.plan.blocking import DEFAULT_ENCODED_ATTRIBUTES
 from repro.plan.compile import DEFAULT_CACHE_LIMIT
 
@@ -56,7 +57,7 @@ EXECUTION_MODES = ("enforce", "direct")
 #: Sections a v1 document may contain.
 _SECTIONS = (
     "version", "schema", "target", "rules", "metrics",
-    "blocking", "resolution", "execution",
+    "blocking", "resolution", "execution", "observability",
 )
 
 
@@ -231,6 +232,9 @@ class ResolutionSpec:
     cache: bool = True
     cache_limit: int = DEFAULT_CACHE_LIMIT
     workers: int = 1
+    obs_enabled: bool = False
+    trace_path: Optional[str] = None
+    trace_format: str = "chrome"
     _fingerprint: Optional[str] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -514,6 +518,45 @@ class ResolutionSpec:
             workers = execution.get("workers", 1)
             _check_int(errors, "execution.workers", workers, 1)
 
+        # -- observability ----------------------------------------------
+        observability = document.get("observability", {})
+        obs_enabled = False
+        trace_path: Optional[str] = None
+        trace_format = "chrome"
+        if not isinstance(observability, dict):
+            errors.append(
+                f"observability: expected an object, got {observability!r}"
+            )
+        else:
+            unknown_obs = set(observability) - {
+                "enabled", "trace", "trace_format"
+            }
+            if unknown_obs:
+                errors.append(
+                    f"observability: unknown key(s) {sorted(unknown_obs)}"
+                )
+            obs_enabled = observability.get("enabled", False)
+            if not isinstance(obs_enabled, bool):
+                errors.append(
+                    f"observability.enabled: expected true or false, "
+                    f"got {obs_enabled!r}"
+                )
+                obs_enabled = False
+            trace_path = observability.get("trace")
+            if trace_path is not None and not isinstance(trace_path, str):
+                errors.append(
+                    f"observability.trace: expected null or a file path "
+                    f"string, got {trace_path!r}"
+                )
+                trace_path = None
+            trace_format = observability.get("trace_format", "chrome")
+            if trace_format not in TRACE_FORMATS:
+                errors.append(
+                    f"observability.trace_format: unknown format "
+                    f"{trace_format!r}; choose one of {list(TRACE_FORMATS)}"
+                )
+                trace_format = "chrome"
+
         metrics_section = document.get("metrics", {})
         metric_items: Tuple[Tuple[str, str], ...] = ()
         if isinstance(metrics_section, dict):
@@ -548,6 +591,9 @@ class ResolutionSpec:
             cache=cache,
             cache_limit=cache_limit,
             workers=workers,
+            obs_enabled=obs_enabled,
+            trace_path=trace_path,
+            trace_format=trace_format,
         )
         return spec, []
 
@@ -605,6 +651,11 @@ class ResolutionSpec:
                 "cache_limit": self.cache_limit,
                 "workers": self.workers,
             },
+            "observability": {
+                "enabled": self.obs_enabled,
+                "trace": self.trace_path,
+                "trace_format": self.trace_format,
+            },
         }
 
     def to_json(self, indent: int = 1) -> str:
@@ -628,7 +679,11 @@ class ResolutionSpec:
         deployment knob that provably never changes results (the
         parallel/serial differential suite pins this), so two specs
         differing only in it share a fingerprint — and a snapshot built
-        serially restores under a parallel spec.
+        serially restores under a parallel spec.  The whole
+        ``observability`` section is excluded for the same reason:
+        tracing observes a run, it never alters one, so turning it on
+        must not invalidate snapshots or change what a report claims it
+        ran.
         """
         cached = self._fingerprint
         if cached is None:
@@ -636,6 +691,7 @@ class ResolutionSpec:
             execution = dict(document["execution"])
             execution.pop("workers")
             document["execution"] = execution
+            document.pop("observability")
             payload = json.dumps(
                 document, sort_keys=True, separators=(",", ":")
             )
@@ -698,6 +754,15 @@ class ResolutionSpec:
     def resolver(self) -> ValueResolver:
         """The value-choice policy as a callable."""
         return VALUE_POLICIES[self.policy]
+
+    @property
+    def tracing_on(self) -> bool:
+        """Whether this spec asks for a live (non-null) tracer.
+
+        True when observability is enabled explicitly or implied by a
+        trace output path.
+        """
+        return self.obs_enabled or self.trace_path is not None
 
 
 class SpecBuilder:
@@ -797,6 +862,24 @@ class SpecBuilder:
     def resolution(self, policy: str) -> "SpecBuilder":
         """Choose the value-choice policy by name."""
         self._document["resolution"] = {"policy": policy}
+        return self
+
+    def observability(
+        self,
+        enabled: bool = True,
+        trace: Optional[str] = None,
+        trace_format: str = "chrome",
+    ) -> "SpecBuilder":
+        """Turn on span tracing, optionally naming a trace output file.
+
+        The section never enters the fingerprint — observing a run does
+        not change it.
+        """
+        self._document["observability"] = {
+            "enabled": enabled,
+            "trace": trace,
+            "trace_format": trace_format,
+        }
         return self
 
     def execution(self, **options) -> "SpecBuilder":

@@ -18,6 +18,7 @@ batch entry point returns one result type, :class:`MatchReport`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,6 +33,13 @@ from repro.plan.blocking import (
     RCKIndex,
     SortedNeighborhoodBackend,
     leading_attribute_pairs,
+)
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    run_manifest,
+    write_trace,
 )
 from repro.plan.compile import EnforcementPlan, compile_plan
 from repro.relations.relation import Relation
@@ -55,7 +63,11 @@ class MatchReport:
     stats:
         A snapshot of the plan's cumulative :class:`~repro.plan.compile.PlanStats`
         counters taken when the report was built (``compiles`` stays 1 for
-        a workspace's whole lifetime).
+        a workspace's whole lifetime), merged with the workspace's
+        :class:`~repro.obs.MetricsRegistry` — its counters flat alongside
+        the plan counters, plus ``"gauges"`` and ``"histograms"``
+        (p50/p95/p99 summaries) sub-mappings.  Every pre-existing
+        ``PlanStats`` field keeps its key and meaning.
     fingerprint:
         The spec fingerprint the run executed under.
     mode:
@@ -66,7 +78,7 @@ class MatchReport:
     candidates: Tuple[Pair, ...]
     clusters: Tuple[Cluster, ...]
     provenance: Mapping[Pair, Tuple[str, ...]]
-    stats: Mapping[str, int]
+    stats: Mapping[str, object]
     fingerprint: str
     mode: str
 
@@ -116,6 +128,10 @@ class Workspace:
             )
         self.spec = spec
         self._plan: Optional[EnforcementPlan] = None
+        # A live tracer only when the spec asks for one; the null tracer
+        # keeps every instrumented path allocation- and clock-free.
+        self.tracer = Tracer() if spec.tracing_on else NULL_TRACER
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Construction
@@ -164,24 +180,36 @@ class Workspace:
         """
         if self._plan is None:
             spec = self.spec
-            pair = spec.schema_pair()
-            target = spec.target_lists(pair)
-            registry = spec.build_registry()
-            sigma = spec.parsed_mds(pair)
-            rcks = spec.explicit_rcks(target)
-            if rcks is None:
-                rcks = find_rcks(sigma, target, m=spec.top_k)
-            blocking = self._blocking_backend(rcks)
-            self._plan = compile_plan(
-                sigma,
-                target,
-                rcks=rcks,
-                registry=registry,
-                blocking=blocking,
-                window=spec.window,
-                cached=spec.cache,
-                cache_limit=spec.cache_limit,
-            )
+            with self.tracer.span("compile", fingerprint=self.fingerprint) as span:
+                pair = spec.schema_pair()
+                target = spec.target_lists(pair)
+                registry = spec.build_registry()
+                with self.tracer.span("parse-mds", mds=len(spec.mds)):
+                    sigma = spec.parsed_mds(pair)
+                rcks = spec.explicit_rcks(target)
+                if rcks is None:
+                    with self.tracer.span("deduce-rcks", top_k=spec.top_k):
+                        rcks = find_rcks(sigma, target, m=spec.top_k)
+                with self.tracer.span("build-blocking", backend=spec.blocking_backend):
+                    blocking = self._blocking_backend(rcks)
+                with self.tracer.span("compile-plan"):
+                    self._plan = compile_plan(
+                        sigma,
+                        target,
+                        rcks=rcks,
+                        registry=registry,
+                        blocking=blocking,
+                        window=spec.window,
+                        cached=spec.cache,
+                        cache_limit=spec.cache_limit,
+                    )
+                span.set("rules", len(self._plan.rules))
+                span.set("keys", len(self._plan.keys))
+            # Hand the workspace's tracer and registry to the plan: the
+            # executors (chase, parallel_chase, the engine) instrument
+            # through ``plan.tracer`` / ``plan.metrics``.
+            self._plan.tracer = self.tracer
+            self._plan.metrics = self.metrics
         return self._plan
 
     def _blocking_backend(
@@ -259,46 +287,54 @@ class Workspace:
         serial loop on small inputs; results are identical either way.
         """
         plan = self.plan
-        if isinstance(left, InstancePair):
-            if right is not None:
-                raise TypeError(
-                    "pass either an InstancePair or two relations, not both"
-                )
-            instance = left
-        else:
-            instance = InstancePair(plan.pair, left, right)
-        if candidates is None:
-            candidates = plan.candidates(instance.left, instance.right)
-        candidates = list(candidates)
-        result = plan.enforce(
-            instance,
-            resolver=self.spec.resolver(),
-            candidate_pairs=candidates,
-            max_rounds=self.spec.max_rounds,
-            workers=self.spec.workers,
-            # The canonical document is what worker processes rebuild the
-            # plan from (repro.plan.parallel); unused when workers == 1.
-            spec_document=(
-                self.spec.to_dict() if self.spec.workers > 1 else None
-            ),
-        )
-        target_pairs = plan.target.attribute_pairs()
-        matches = [
-            pair
-            for pair in candidates
-            if result.identified(pair[0], pair[1], target_pairs)
-        ]
-        rule_names: Dict[Pair, Tuple[str, ...]] = {}
-        if provenance:
-            chased = result.instance
-            for left_tid, right_tid in matches:
-                t1 = chased.left[left_tid]
-                t2 = chased.right[right_tid]
-                rule_names[(left_tid, right_tid)] = tuple(
-                    rule.name
-                    for rule in plan.rules
-                    if plan.lhs_matches(rule, t1, t2)
-                )
+        started = time.perf_counter()
+        with self.tracer.span("enforce", workers=self.spec.workers) as span:
+            if isinstance(left, InstancePair):
+                if right is not None:
+                    raise TypeError(
+                        "pass either an InstancePair or two relations, not both"
+                    )
+                instance = left
+            else:
+                instance = InstancePair(plan.pair, left, right)
+            if candidates is None:
+                with self.tracer.span("blocking") as blocking_span:
+                    candidates = plan.candidates(instance.left, instance.right)
+                    blocking_span.set("candidates", len(candidates))
+            candidates = list(candidates)
+            span.set("candidates", len(candidates))
+            result = plan.enforce(
+                instance,
+                resolver=self.spec.resolver(),
+                candidate_pairs=candidates,
+                max_rounds=self.spec.max_rounds,
+                workers=self.spec.workers,
+                # The canonical document is what worker processes rebuild the
+                # plan from (repro.plan.parallel); unused when workers == 1.
+                spec_document=(
+                    self.spec.to_dict() if self.spec.workers > 1 else None
+                ),
+            )
+            target_pairs = plan.target.attribute_pairs()
+            matches = [
+                pair
+                for pair in candidates
+                if result.identified(pair[0], pair[1], target_pairs)
+            ]
+            rule_names: Dict[Pair, Tuple[str, ...]] = {}
+            if provenance:
+                with self.tracer.span("provenance"):
+                    chased = result.instance
+                    for left_tid, right_tid in matches:
+                        t1 = chased.left[left_tid]
+                        t2 = chased.right[right_tid]
+                        rule_names[(left_tid, right_tid)] = tuple(
+                            rule.name
+                            for rule in plan.rules
+                            if plan.lhs_matches(rule, t1, t2)
+                        )
+            span.set("matches", len(matches))
+        self.metrics.observe("match.seconds", time.perf_counter() - started)
         return self._report("enforce", matches, candidates, rule_names)
 
     def _match_direct(
@@ -310,23 +346,30 @@ class Workspace:
     ) -> MatchReport:
         """Direct rule matching: some RCK's comparisons all agree."""
         plan = self.plan
-        if candidates is None:
-            candidates = plan.candidates(left, right)
-        candidates = list(candidates)
-        plan.stats.pairs_compared += len(candidates)
-        matches: List[Pair] = []
-        key_names: Dict[Pair, Tuple[str, ...]] = {}
-        for left_tid, right_tid in candidates:
-            t1, t2 = left[left_tid], right[right_tid]
-            if not plan.matches_any_key(t1, t2):
-                continue
-            matches.append((left_tid, right_tid))
-            if provenance:
-                key_names[(left_tid, right_tid)] = tuple(
-                    key.name
-                    for key in plan.keys
-                    if plan.key_matches(key, t1, t2)
-                )
+        started = time.perf_counter()
+        with self.tracer.span("match", mode="direct") as span:
+            if candidates is None:
+                with self.tracer.span("blocking") as blocking_span:
+                    candidates = plan.candidates(left, right)
+                    blocking_span.set("candidates", len(candidates))
+            candidates = list(candidates)
+            span.set("candidates", len(candidates))
+            plan.stats.pairs_compared += len(candidates)
+            matches: List[Pair] = []
+            key_names: Dict[Pair, Tuple[str, ...]] = {}
+            for left_tid, right_tid in candidates:
+                t1, t2 = left[left_tid], right[right_tid]
+                if not plan.matches_any_key(t1, t2):
+                    continue
+                matches.append((left_tid, right_tid))
+                if provenance:
+                    key_names[(left_tid, right_tid)] = tuple(
+                        key.name
+                        for key in plan.keys
+                        if plan.key_matches(key, t1, t2)
+                    )
+            span.set("matches", len(matches))
+        self.metrics.observe("match.seconds", time.perf_counter() - started)
         return self._report("direct", matches, candidates, key_names)
 
     def stream(self, store=None):
@@ -359,6 +402,8 @@ class Workspace:
             key_length=spec.key_length,
             encode_attributes=spec.encode,
             max_cascade=spec.max_cascade,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         if matcher.store.spec_fingerprint is None:
             matcher.store.spec_fingerprint = self.fingerprint
@@ -381,6 +426,37 @@ class Workspace:
         ]
         return "\n".join(lines)
 
+    def manifest(self, **fields) -> Dict[str, object]:
+        """The run manifest for this workspace's trace files."""
+        return run_manifest(
+            spec_fingerprint=self.fingerprint,
+            mode=self.spec.mode,
+            workers=self.spec.workers,
+            policy=self.spec.policy,
+            **fields,
+        )
+
+    def write_trace(
+        self, path=None, format: Optional[str] = None, **manifest_fields
+    ) -> Dict[str, object]:
+        """Export the collected spans and metrics as a trace file.
+
+        ``path``/``format`` default to the spec's ``observability``
+        section; returns the Chrome trace document either way.
+        """
+        target = path if path is not None else self.spec.trace_path
+        if target is None:
+            raise ValueError(
+                "no trace path: pass one or set observability.trace in the spec"
+            )
+        return write_trace(
+            self.tracer,
+            target,
+            manifest=self.manifest(**manifest_fields),
+            metrics=self.metrics,
+            format=format if format is not None else self.spec.trace_format,
+        )
+
     def _report(
         self,
         mode: str,
@@ -388,12 +464,21 @@ class Workspace:
         candidates: Sequence[Pair],
         provenance: Dict[Pair, Tuple[str, ...]],
     ) -> MatchReport:
+        # One stats mapping for every consumer: the plan's cumulative
+        # counters flat at the top (backward compatible), the registry's
+        # counters alongside them, and the richer registry sections as
+        # sub-mappings.
+        rendered = self.metrics.as_dict()
+        stats: Dict[str, object] = dict(self.plan.stats.as_dict())
+        stats.update(rendered["counters"])
+        stats["gauges"] = rendered["gauges"]
+        stats["histograms"] = rendered["histograms"]
         return MatchReport(
             matches=tuple(matches),
             candidates=tuple(candidates),
             clusters=tuple(cluster_matches(matches)),
             provenance=provenance,
-            stats=dict(self.plan.stats.as_dict()),
+            stats=stats,
             fingerprint=self.fingerprint,
             mode=mode,
         )

@@ -19,7 +19,10 @@ internally — but emits a ``DeprecationWarning``.
 * ``engine``  — the incremental streaming engine: ``engine ingest``
   streams CSV records into a persistent match store (snapshots embed the
   spec fingerprint; resuming under a different spec is rejected),
-  ``engine stats`` reports counters, ``engine query`` prints a cluster.
+  ``engine stats`` reports counters, ``engine query`` prints a cluster;
+* ``trace``   — inspect trace files written with ``--trace`` on ``match``
+  or ``engine ingest``: ``trace summarize`` aggregates per-span timings,
+  ``trace validate`` schema-checks a file (what CI smoke runs).
 
 The legacy schema spec is JSON::
 
@@ -42,12 +45,14 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
 import sys
 import warnings
 from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.api import ResolutionSpec, SpecBuilder, SpecError, Workspace
+from repro.obs import TRACE_FORMATS, read_trace, summarize_trace, validate_trace
 from repro.core.closure import deduces
 from repro.core.parser import parse_md, parse_mds
 from repro.core.schema import ComparableLists, RelationSchema, SchemaPair
@@ -233,6 +238,36 @@ def _resolve_spec(
     )
 
 
+def _trace_spec(spec: ResolutionSpec, args) -> ResolutionSpec:
+    """Lower --trace/--trace-format into the spec's observability section."""
+    if getattr(args, "trace", None) is None and (
+        getattr(args, "trace_format", None) is None
+    ):
+        return spec
+    try:
+        return _override_spec(
+            spec,
+            **{
+                "observability.trace": getattr(args, "trace", None),
+                "observability.trace_format": getattr(args, "trace_format", None),
+            },
+        )
+    except SpecError as error:
+        raise CliError("\n".join(error.errors)) from None
+
+
+def _write_cli_trace(workspace: Workspace, args, **manifest_fields) -> None:
+    """Write the run's trace to the spec's observability.trace path."""
+    if workspace.spec.trace_path is None:
+        return
+    try:
+        workspace.write_trace(
+            argv=getattr(args, "argv", sys.argv[1:]), **manifest_fields
+        )
+    except OSError as error:
+        raise CliError(f"cannot write trace: {error}") from None
+
+
 def _workspace(spec: ResolutionSpec) -> Workspace:
     """A workspace whose compile errors surface as CLI errors."""
     workspace = Workspace(spec)
@@ -319,6 +354,7 @@ def cmd_match(args) -> int:
             spec = _override_spec(spec, **{"execution.workers": args.workers})
         except SpecError as error:
             raise CliError("\n".join(error.errors)) from None
+    spec = _trace_spec(spec, args)
     workspace = _workspace(spec)
     plan = workspace.plan
     if not plan.keys:
@@ -329,6 +365,20 @@ def cmd_match(args) -> int:
         report = workspace.match(left, right)
     except (KeyError, ValueError) as error:
         raise CliError(f"matching failed: {error}") from None
+    _write_cli_trace(
+        workspace, args,
+        command="match", left=str(args.left), right=str(args.right),
+    )
+    exhausted = report.stats.get("rounds_exhausted", 0)
+    if exhausted:
+        print(
+            f"warning: the chase hit its round budget "
+            f"(execution.max_rounds={spec.max_rounds}) before reaching a "
+            f"stable instance in {exhausted} enforcement(s); matches may be "
+            f"incomplete — raise execution.max_rounds "
+            f"(rules in play: {', '.join(r.name for r in plan.rules)})",
+            file=sys.stderr,
+        )
     rows = list(report.matches)
     if args.output:
         with Path(args.output).open("w", newline="", encoding="utf-8") as handle:
@@ -385,6 +435,7 @@ def cmd_engine_ingest(args) -> int:
     from repro.engine import save_store
 
     spec = _resolve_spec(args, mode="enforce", top_k=args.top_k)
+    spec = _trace_spec(spec, args)
     workspace = _workspace(spec)
     pair = workspace.plan.pair
     store_path = Path(args.store)
@@ -411,6 +462,13 @@ def cmd_engine_ingest(args) -> int:
             matcher.ingest(side, row.values())
             ingested += 1
     save_store(matcher.store, store_path)
+    _write_cli_trace(
+        workspace,
+        args,
+        command="engine ingest",
+        store=str(store_path),
+        ingested=ingested,
+    )
     stats = matcher.store.stats()
     stats["ingested"] = ingested
     stats["new_merges"] = matcher.store.merges - merges_before
@@ -491,6 +549,44 @@ def cmd_engine_query(args) -> int:
     return 0
 
 
+def _read_trace_file(path: str):
+    try:
+        return read_trace(path)
+    except FileNotFoundError:
+        raise CliError(f"trace file not found: {path}") from None
+    except ValueError as error:
+        raise CliError(str(error)) from None
+
+
+def cmd_trace_summarize(args) -> int:
+    document = _read_trace_file(args.file)
+    problems = validate_trace(document)
+    if problems:
+        raise CliError(
+            f"{args.file} is not a valid trace:\n"
+            + "\n".join(f"  {problem}" for problem in problems)
+        )
+    print(summarize_trace(document))
+    return 0
+
+
+def cmd_trace_validate(args) -> int:
+    document = _read_trace_file(args.file)
+    problems = validate_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        print(f"# {len(problems)} problem(s) in {args.file}", file=sys.stderr)
+        return 2
+    spans = sum(
+        1
+        for event in document.get("traceEvents", [])
+        if isinstance(event, dict) and event.get("ph") == "X"
+    )
+    print(f"OK: {args.file} is a valid trace ({spans} span event(s))")
+    return 0
+
+
 def cmd_demo(args) -> int:
     from repro.datagen.generator import figure1_instances
     from repro.datagen.schemas import paper_mds, paper_target
@@ -515,6 +611,20 @@ def cmd_demo(args) -> int:
     for pair_ in report.matches:
         print(f"  {pair_}")
     return 0
+
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        help="write a span trace of this run to FILE (Chrome trace_event "
+        "JSON by default: load it in about:tracing or ui.perfetto.dev; "
+        "inspect with `repro trace summarize FILE`)",
+        metavar="FILE",
+    )
+    parser.add_argument(
+        "--trace-format", choices=TRACE_FORMATS,
+        help="trace file format (default chrome; jsonl = one event per line)",
+    )
 
 
 def _add_spec_options(parser: argparse.ArgumentParser) -> None:
@@ -581,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full MatchReport as JSON (pairs, clusters, "
         "provenance, plan stats, spec fingerprint)",
     )
+    _add_trace_options(match)
     match.set_defaults(func=cmd_match)
 
     plan = sub.add_parser(
@@ -628,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--json", action="store_true", help="print stats as JSON"
     )
+    _add_trace_options(ingest)
     ingest.set_defaults(func=cmd_engine_ingest)
 
     stats = engine_sub.add_parser("stats", help="report store counters")
@@ -650,12 +762,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the cluster as JSON"
     )
     query.set_defaults(func=cmd_engine_query)
+
+    trace = sub.add_parser(
+        "trace", help="inspect trace files written with --trace (repro.obs)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="aggregate a trace into a per-span table"
+    )
+    summarize.add_argument("file", help="trace file (chrome or jsonl format)")
+    summarize.set_defaults(func=cmd_trace_summarize)
+    trace_validate = trace_sub.add_parser(
+        "validate", help="schema-check a trace file (exit 2 on problems)"
+    )
+    trace_validate.add_argument(
+        "file", help="trace file (chrome or jsonl format)"
+    )
+    trace_validate.set_defaults(func=cmd_trace_validate)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
     args = parser.parse_args(argv)
+    # The command line as invoked, for trace manifests (sys.argv is the
+    # test runner's when main() is called programmatically).
+    args.argv = list(argv)
     try:
         return args.func(args)
     except SpecError as error:
@@ -665,6 +799,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CliError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed our stdout (e.g. `repro trace summarize | head`);
+        # exit quietly instead of tracebacking.  Redirect stdout to devnull
+        # so the interpreter's shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -23,6 +23,7 @@ comparison counter).
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -39,6 +40,8 @@ from repro.plan.blocking import (
     DEFAULT_ENCODED_ATTRIBUTES,
     SortedNeighborhoodBackend,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.plan.compile import EnforcementPlan, compile_plan
 from repro.relations.relation import Relation
 from repro.metrics.registry import DEFAULT_REGISTRY, MetricRegistry
@@ -116,6 +119,8 @@ class IncrementalMatcher:
         encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
         max_cascade: int = 256,
         plan: Optional[EnforcementPlan] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if plan is None:
             # The raw-MD constructor predates the spec-driven API; the
@@ -156,6 +161,20 @@ class IncrementalMatcher:
             raise ValueError("store was built for a different target")
         self.store = store
         self._target_pairs = self.target.attribute_pairs()
+        # Observability: default to the plan's tracer/registry (a
+        # Workspace hands its own to the plan), or explicit overrides.
+        self.tracer = tracer if tracer is not None else getattr(
+            plan, "tracer", NULL_TRACER
+        )
+        self.metrics = metrics if metrics is not None else getattr(
+            plan, "metrics", None
+        ) or MetricsRegistry()
+        if tracer is not None:
+            # A standalone tracer must also see the delta-chase spans the
+            # plan's executor emits.
+            plan.tracer = tracer
+        if metrics is not None:
+            plan.metrics = metrics
 
     # ------------------------------------------------------------------
     # Streaming ingestion
@@ -176,42 +195,58 @@ class IncrementalMatcher:
         it is reported via :attr:`IngestResult.cascade_truncated`.
         """
         store = self.store
-        tid = store.add(side, values, tid=tid)
-        all_pairs: List[Pair] = []
-        all_matches: List[Pair] = []
-        merged = False
-        queue: List[Tuple[int, int]] = [(side, tid)]
-        queued = {(side, tid)}
-        rounds = 0
-        while queue and rounds < self.max_cascade:
-            rounds += 1
-            round_side, round_tid = queue.pop(0)
-            queued.discard((round_side, round_tid))
-            # Probe with arrival values: the buckets were keyed on them.
-            row = store.arrival_row(round_side, round_tid)
-            other_tids = store.neighbors(round_side, row)
-            if round_side == LEFT:
-                pairs: List[Pair] = [(round_tid, other) for other in other_tids]
-            else:
-                pairs = [(other, round_tid) for other in other_tids]
-            store.comparisons += len(pairs)
-            if not pairs:
-                continue
-            all_pairs.extend(pairs)
-            touched: List[Node] = []
-            for match in self._match_pairs(pairs):
-                if match not in all_matches:
-                    all_matches.append(match)
-                left_tid, right_tid = match
-                left_node = node_of(LEFT, left_tid)
-                if store.union(left_node, node_of(RIGHT, right_tid)):
-                    merged = True
-                    touched.append(left_node)
-            for root in {store.find(node) for node in touched}:
-                for changed_record in self._resolve_cluster(root):
-                    if changed_record not in queued:
-                        queue.append(changed_record)
-                        queued.add(changed_record)
+        started = time.perf_counter()
+        with self.tracer.span("ingest", side=side) as span:
+            tid = store.add(side, values, tid=tid)
+            all_pairs: List[Pair] = []
+            all_matches: List[Pair] = []
+            merged = False
+            queue: List[Tuple[int, int]] = [(side, tid)]
+            queued = {(side, tid)}
+            rounds = 0
+            while queue and rounds < self.max_cascade:
+                rounds += 1
+                round_side, round_tid = queue.pop(0)
+                queued.discard((round_side, round_tid))
+                # Probe with arrival values: the buckets were keyed on them.
+                row = store.arrival_row(round_side, round_tid)
+                other_tids = store.neighbors(round_side, row)
+                if round_side == LEFT:
+                    pairs: List[Pair] = [
+                        (round_tid, other) for other in other_tids
+                    ]
+                else:
+                    pairs = [(other, round_tid) for other in other_tids]
+                store.comparisons += len(pairs)
+                if not pairs:
+                    continue
+                all_pairs.extend(pairs)
+                touched: List[Node] = []
+                for match in self._match_pairs(pairs):
+                    if match not in all_matches:
+                        all_matches.append(match)
+                    left_tid, right_tid = match
+                    left_node = node_of(LEFT, left_tid)
+                    if store.union(left_node, node_of(RIGHT, right_tid)):
+                        merged = True
+                        touched.append(left_node)
+                for root in {store.find(node) for node in touched}:
+                    for changed_record in self._resolve_cluster(root):
+                        if changed_record not in queued:
+                            queue.append(changed_record)
+                            queued.add(changed_record)
+            span.set("tid", tid)
+            span.set("candidates", len(all_pairs))
+            span.set("matches", len(all_matches))
+            span.set("cascade", rounds)
+        metrics = self.metrics
+        metrics.observe("engine.ingest_seconds", time.perf_counter() - started)
+        metrics.count("engine.ingests")
+        if merged:
+            metrics.count("engine.merges")
+        # Store growth as gauges: index/cluster size over the stream.
+        metrics.gauge("engine.left_rows", len(store.left))
+        metrics.gauge("engine.right_rows", len(store.right))
         return IngestResult(
             side,
             tid,

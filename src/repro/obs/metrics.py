@@ -1,0 +1,153 @@
+"""A small metrics registry: counters, gauges, and percentile histograms.
+
+This unifies the ad-hoc counter structs scattered through the stack
+(``PlanStats``, the store's ``comparisons``/``merges`` fields) behind
+one render path: counters accumulate, gauges record the latest value,
+histograms keep raw observations and summarize to count/min/max/mean and
+p50/p95/p99.  :meth:`MetricsRegistry.as_dict` is the single JSON shape
+every consumer sees — ``MatchReport.stats``, the trace file's
+``metrics`` section, and the ``BENCH_*.json`` benchmark documents all
+render through it (``benchmarks/check_bench_json.py`` schema-checks that
+shape).
+
+Percentiles use linear interpolation between closest ranks (the same
+definition as ``numpy.percentile``'s default): for sorted observations
+``x[0..n-1]``, the ``q``-th percentile sits at rank ``q/100 * (n-1)``,
+interpolating between the neighboring observations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: The percentiles every histogram summary reports.
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    >>> percentile(range(101), 95)
+    95.0
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[int(rank)])
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+class Histogram:
+    """Raw observations with a percentile summary.
+
+    Runs here are bounded (one process, one workload), so the histogram
+    keeps every observation exactly rather than approximating with
+    buckets — percentiles are then exact by construction.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def summary(self) -> Dict[str, float]:
+        """count/min/max/mean plus p50/p95/p99, JSON-ready."""
+        if not self.values:
+            return {"count": 0}
+        out: Dict[str, float] = {
+            "count": len(self.values),
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": sum(self.values) / len(self.values),
+        }
+        for q in SUMMARY_PERCENTILES:
+            out[f"p{q:g}"] = percentile(self.values, q)
+        return out
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms under dotted string names."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add to a monotonically accumulating counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a point-in-time quantity."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to a histogram (created on first use)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram, or ``None`` when nothing was observed."""
+        return self.histograms.get(name)
+
+    # -- composition ---------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges last-wins,
+        histograms pool their observations."""
+        for name, amount in other.counters.items():
+            self.count(name, amount)
+        self.gauges.update(other.gauges)
+        for name, histogram in other.histograms.items():
+            for value in histogram.values:
+                self.observe(name, value)
+
+    def absorb_counters(self, counters: Dict[str, object]) -> None:
+        """Adopt a plain counter dict (e.g. ``PlanStats.as_dict()``).
+
+        Non-numeric entries (such as ``serial_fallback_reason``) are
+        recorded as gauges so nothing is silently dropped.
+        """
+        for name, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                if value is not None:
+                    self.gauges[name] = value
+            else:
+                self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    # -- rendering -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """The canonical JSON shape: counters, gauges, histogram summaries."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }

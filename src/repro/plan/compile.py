@@ -32,7 +32,7 @@ throwaway plan and delegates to the same kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.findrcks import find_rcks
@@ -41,6 +41,8 @@ from repro.core.rck import RelativeKey
 from repro.core.schema import ComparableLists, SchemaPair
 from repro.metrics.base import SimilarityPredicate
 from repro.metrics.registry import DEFAULT_REGISTRY, EQ, MetricRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.relations.relation import Relation, Row
 
 from .blocking import BlockingBackend, Pair, SortedNeighborhoodBackend
@@ -110,14 +112,23 @@ class PlanStats:
     shards: int = 0
     parallel_chases: int = 0
     workers_spawned: int = 0
+    #: Chases that hit ``max_rounds`` before reaching a fixpoint (each
+    #: such chase also sets ``EnforcementResult.rounds_exhausted``; the
+    #: CLI surfaces this as a warning).
+    rounds_exhausted: int = 0
+    #: Why the last ``workers > 1`` enforcement ran serially after all
+    #: (``None`` while no fallback has happened, or after a successful
+    #: parallel chase).  The one non-counter field — previously the
+    #: reason was undiscoverable at runtime.
+    serial_fallback_reason: Optional[str] = None
 
     def reset(self) -> None:
-        """Zero every counter."""
-        for name in vars(self):
-            setattr(self, name, 0)
+        """Restore every field to its default (0 for the counters)."""
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
 
-    def as_dict(self) -> Dict[str, int]:
-        """The counters as a JSON-serializable dict."""
+    def as_dict(self) -> Dict[str, object]:
+        """The counters (plus the fallback reason) as a JSON dict."""
         return dict(vars(self))
 
 
@@ -166,6 +177,14 @@ class EnforcementPlan:
         self.cached = cached
         self.cache_limit = cache_limit
         self.stats = PlanStats()
+        #: Observability hooks (repro.obs).  The tracer defaults to the
+        #: shared no-op singleton so every instrumentation point in the
+        #: kernel stays unconditional; a Workspace built from a spec
+        #: with tracing on swaps in a recording Tracer.  The metrics
+        #: registry is always live (it is only touched at span-level
+        #: granularity, never per predicate).
+        self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
         self._cache: Dict[Tuple[int, object, object], bool] = {}
 
     # ------------------------------------------------------------------
@@ -285,6 +304,28 @@ class EnforcementPlan:
     # Introspection (``repro plan explain``)
     # ------------------------------------------------------------------
 
+    def recorded_metrics(self) -> Dict[str, List[str]]:
+        """What this plan's instrumented execution will record.
+
+        ``counters`` are the :class:`PlanStats` fields (always on);
+        ``histograms`` and ``spans`` are recorded by the pipeline around
+        this plan — histograms always, spans only when tracing is on
+        (``observability`` in the spec, or ``--trace`` on the CLI).
+        """
+        return {
+            "counters": [spec.name for spec in fields(PlanStats)],
+            "histograms": [
+                "chase.rounds", "chase.seconds", "match.seconds",
+                "engine.ingest_seconds",
+            ],
+            "spans": [
+                "compile", "match", "enforce", "blocking", "chase",
+                "chase-round", "resolve-merged", "stability-check",
+                "provenance", "parallel-chase", "shard-pairs", "pool",
+                "merge-shards", "ingest",
+            ],
+        }
+
     def metric_binding(self, predicate: CompiledPredicate) -> str:
         """How the predicate's operator was resolved at compile time."""
         if predicate.operator == EQ:
@@ -322,6 +363,7 @@ class EnforcementPlan:
             "blocking": self.blocking.describe() if self.blocking else None,
             "atoms_before_dedup": self.atom_count,
             "unique_predicates": len(self.predicates),
+            "observability": self.recorded_metrics(),
         }
 
     def explain(self) -> str:
@@ -357,6 +399,11 @@ class EnforcementPlan:
             "blocking: "
             + (self.blocking.describe() if self.blocking else "(none)")
         )
+        recorded = self.recorded_metrics()
+        lines.append("observability:")
+        lines.append("  counters: " + ", ".join(recorded["counters"]))
+        lines.append("  histograms: " + ", ".join(recorded["histograms"]))
+        lines.append("  spans (with tracing on): " + ", ".join(recorded["spans"]))
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,6 +17,7 @@ cache across runs and ingests.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.semantics import (
@@ -67,7 +68,13 @@ def chase(
     stats = plan.stats
     stats.enforcements += 1
     stats.pairs_compared += len(pairs)
+    tracer = plan.tracer
+    chase_start = time.perf_counter()
 
+    chase_span = tracer.span(
+        "chase", pairs=len(pairs), rules=len(plan.rules), max_rounds=max_rounds
+    )
+    chase_span.__enter__()
     applications = 0
     rounds = 0
     shared = working.left is working.right
@@ -76,6 +83,9 @@ def chase(
     while rounds < max_rounds:
         rounds += 1
         merged_this_round = False
+        round_span = tracer.span("chase-round", round=rounds, active=len(active))
+        round_span.__enter__()
+        before = applications
         for left_tid, right_tid in active:
             t1 = working.left[left_tid]
             t2 = working.right[right_tid]
@@ -88,77 +98,87 @@ def chase(
                     if cells.union(left_cell, right_cell):
                         merged_this_round = True
                         applications += 1
+        round_span.set("merges", applications - before)
         if not merged_this_round:
+            round_span.__exit__(None, None, None)
             break
         # Re-resolve every merged class to one value, tracking which
         # tuples a write actually changed — only their pairs can behave
         # differently next round.
         changed: Set[Tuple[int, int]] = set()
-        seen_roots: Set[Cell] = set()
-        for left_tid, right_tid in pairs:
-            for side, tid in ((LEFT, left_tid), (RIGHT, right_tid)):
-                relation = working.left if side == LEFT else working.right
-                for attribute in relation.schema.attribute_names:
-                    cell: Cell = (side, tid, attribute)
-                    root = cells.find(cell)
-                    if root in seen_roots:
-                        continue
-                    seen_roots.add(root)
-                    members = cells.members(cell)
-                    if len(members) == 1:
-                        continue
-                    # Feed the resolver a *sorted* member order: members()
-                    # returns a set, and set iteration order depends on
-                    # the process hash seed — an order-dependent policy
-                    # (first-non-null) would otherwise resolve differently
-                    # in spawn workers than in the serial parent.
-                    values = [
-                        _cell_value(working, member, shared)
-                        for member in sorted(members)
-                    ]
-                    resolved = resolver(values)
-                    for member in members:
-                        member_side, member_tid, member_attr = member
-                        member_relation = (
-                            working.left if member_side == LEFT else working.right
-                        )
-                        if member_relation[member_tid][member_attr] != resolved:
-                            member_relation.set_value(
-                                member_tid, member_attr, resolved
+        with tracer.span("resolve-merged") as resolve_span:
+            seen_roots: Set[Cell] = set()
+            repairs = 0
+            for left_tid, right_tid in pairs:
+                for side, tid in ((LEFT, left_tid), (RIGHT, right_tid)):
+                    relation = working.left if side == LEFT else working.right
+                    for attribute in relation.schema.attribute_names:
+                        cell: Cell = (side, tid, attribute)
+                        root = cells.find(cell)
+                        if root in seen_roots:
+                            continue
+                        seen_roots.add(root)
+                        members = cells.members(cell)
+                        if len(members) == 1:
+                            continue
+                        # Feed the resolver a *sorted* member order: members()
+                        # returns a set, and set iteration order depends on
+                        # the process hash seed — an order-dependent policy
+                        # (first-non-null) would otherwise resolve differently
+                        # in spawn workers than in the serial parent.
+                        values = [
+                            _cell_value(working, member, shared)
+                            for member in sorted(members)
+                        ]
+                        resolved = resolver(values)
+                        for member in members:
+                            member_side, member_tid, member_attr = member
+                            member_relation = (
+                                working.left if member_side == LEFT else working.right
                             )
-                            changed.add((member_side, member_tid))
-                            if shared:
-                                # One storage serves both sides: a write
-                                # through either tag dirties the tuple's
-                                # pairs on both.
-                                changed.add(
-                                    (LEFT + RIGHT - member_side, member_tid)
+                            if member_relation[member_tid][member_attr] != resolved:
+                                member_relation.set_value(
+                                    member_tid, member_attr, resolved
                                 )
+                                repairs += 1
+                                changed.add((member_side, member_tid))
+                                if shared:
+                                    # One storage serves both sides: a write
+                                    # through either tag dirties the tuple's
+                                    # pairs on both.
+                                    changed.add(
+                                        (LEFT + RIGHT - member_side, member_tid)
+                                    )
+            resolve_span.set("repairs", repairs)
         active = [
             (left_tid, right_tid)
             for left_tid, right_tid in pairs
             if (LEFT, left_tid) in changed or (RIGHT, right_tid) in changed
         ]
+        round_span.__exit__(None, None, None)
 
     # Stability: (D', D') ⊨ Σ — for every pair matching a rule's LHS in
     # D', the RHS cells must carry equal values.  (With original and
     # extended both D', the "LHS still matches" recheck is the same
     # evaluation, so one pass through the compiled predicates suffices.)
     stable = True
-    for left_tid, right_tid in pairs:
-        t1 = working.left[left_tid]
-        t2 = working.right[right_tid]
-        for rule in plan.rules:
-            if not plan.lhs_matches(rule, t1, t2):
-                continue
-            for left_attr, right_attr in rule.rhs:
-                if t1[left_attr] != t2[right_attr]:
-                    stable = False
+    unstable_rule = None
+    with tracer.span("stability-check"):
+        for left_tid, right_tid in pairs:
+            t1 = working.left[left_tid]
+            t2 = working.right[right_tid]
+            for rule in plan.rules:
+                if not plan.lhs_matches(rule, t1, t2):
+                    continue
+                for left_attr, right_attr in rule.rhs:
+                    if t1[left_attr] != t2[right_attr]:
+                        stable = False
+                        unstable_rule = rule.name
+                        break
+                if not stable:
                     break
             if not stable:
                 break
-        if not stable:
-            break
     # Exhaustion: the round budget ran out AND the result is not a
     # fixpoint — the last permitted round still merged, or no round was
     # permitted at all.  A chase whose last permitted round merged but
@@ -168,6 +188,19 @@ def chase(
     rounds_exhausted = (merged_this_round or rounds == 0) and not stable
     stats.chase_rounds += rounds
     stats.rule_applications += applications
+    chase_span.set("rounds", rounds)
+    chase_span.set("applications", applications)
+    chase_span.set("stable", stable)
+    if rounds_exhausted:
+        stats.rounds_exhausted += 1
+        # Record what triggered the cut-off: the rule whose RHS was
+        # still unequal at the budget, and the full rule set in play.
+        chase_span.set("rounds_exhausted", True)
+        chase_span.set("unstable_rule", unstable_rule)
+        chase_span.set("rule_set", [rule.name for rule in plan.rules])
+    chase_span.__exit__(None, None, None)
+    plan.metrics.observe("chase.rounds", rounds)
+    plan.metrics.observe("chase.seconds", time.perf_counter() - chase_start)
     return EnforcementResult(
         working, stable, rounds, cells, applications, rounds_exhausted
     )

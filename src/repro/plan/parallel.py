@@ -54,6 +54,7 @@ from repro.core.semantics import (
     _CellUnionFind,
     prefer_informative,
 )
+from repro.obs.trace import Tracer
 from repro.relations.relation import Relation
 
 from .blocking import Pair
@@ -80,12 +81,15 @@ class ShardTask:
     ``right_rows`` is ``None`` for a self-matching (shared) instance —
     the worker then builds one relation serving both sides, mirroring
     :meth:`~repro.core.semantics.InstancePair.copy` semantics.
+    ``trace`` asks the worker to record its own span tree and ship it
+    back serialized (the parent merges it under the pool span).
     """
 
     left_rows: _Rows
     right_rows: Optional[_Rows]
     pairs: Tuple[Pair, ...]
     max_rounds: int
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -100,6 +104,9 @@ class ShardOutcome:
     rounds_exhausted: bool
     metric_evaluations: int
     cache_hits: int
+    #: Serialized root spans of the worker's chase (empty unless the
+    #: task asked for tracing).
+    spans: Tuple[Dict[str, object], ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -138,13 +145,24 @@ def _run_task(task: ShardTask) -> ShardOutcome:
     stats = plan.stats
     evaluations_before = stats.metric_evaluations
     hits_before = stats.cache_hits
-    result = chase(
-        plan,
-        instance,
-        resolver=resolver,
-        candidate_pairs=list(task.pairs),
-        max_rounds=task.max_rounds,
-    )
+    # A traced parent asks each worker to record its own span tree; the
+    # worker's plan is rebuilt per process, so swapping the tracer in
+    # and out around one task is safe (tasks run sequentially per
+    # process).
+    worker_tracer = Tracer() if task.trace else None
+    saved_tracer = plan.tracer
+    if worker_tracer is not None:
+        plan.tracer = worker_tracer
+    try:
+        result = chase(
+            plan,
+            instance,
+            resolver=resolver,
+            candidate_pairs=list(task.pairs),
+            max_rounds=task.max_rounds,
+        )
+    finally:
+        plan.tracer = saved_tracer
 
     updates: List[Tuple[Cell, object]] = []
     sides = ((LEFT, task.left_rows, result.instance.left),)
@@ -168,6 +186,11 @@ def _run_task(task: ShardTask) -> ShardOutcome:
         rounds_exhausted=result.rounds_exhausted,
         metric_evaluations=stats.metric_evaluations - evaluations_before,
         cache_hits=stats.cache_hits - hits_before,
+        spans=(
+            tuple(span.to_dict() for span in worker_tracer.spans())
+            if worker_tracer is not None
+            else ()
+        ),
     )
 
 
@@ -233,6 +256,7 @@ def _bin_tasks(
     bins,
     shared: bool,
     max_rounds: int,
+    trace: bool = False,
 ) -> List[ShardTask]:
     tasks = []
     for bin_ in bins:
@@ -255,6 +279,7 @@ def _bin_tasks(
                 right_rows=right_rows,
                 pairs=tuple(pair for shard in bin_ for pair in shard.pairs),
                 max_rounds=max_rounds,
+                trace=trace,
             )
         )
     return tasks
@@ -303,61 +328,99 @@ def parallel_chase(
     )
     threshold = PARALLEL_MIN_PAIRS if min_pairs is None else min_pairs
     shared = instance.left is instance.right
+    tracer = plan.tracer
 
-    def serial() -> EnforcementResult:
-        return chase(
-            plan,
-            instance,
-            resolver=resolver,
-            candidate_pairs=pairs,
-            max_rounds=max_rounds,
-        )
+    def serial(reason: str) -> EnforcementResult:
+        # The satellite guarantee: why a workers>1 request ran serially
+        # is recorded, not silent — in stats (``MatchReport.stats``) and
+        # on the trace.
+        plan.stats.serial_fallback_reason = reason
+        with tracer.span("parallel-chase", pairs=len(pairs), workers=workers) as span:
+            span.set("serial_fallback_reason", reason)
+            return chase(
+                plan,
+                instance,
+                resolver=resolver,
+                candidate_pairs=pairs,
+                max_rounds=max_rounds,
+            )
 
-    if (
-        workers <= 1
-        or spec_document is None
-        or len(pairs) < threshold
-        or not _policy_matches(spec_document, resolver)
-    ):
-        return serial()
-    shards = shard_pairs(pairs, shared=shared)
+    if workers <= 1:
+        return serial("workers<=1")
+    if spec_document is None:
+        return serial("no-spec-document")
+    if len(pairs) < threshold:
+        return serial(f"below-min-pairs({len(pairs)}<{threshold})")
+    if not _policy_matches(spec_document, resolver):
+        return serial("unnamed-resolver")
+    parallel_span = tracer.span(
+        "parallel-chase", pairs=len(pairs), workers=workers
+    )
+    parallel_span.__enter__()
+    with tracer.span("shard-pairs") as shard_span:
+        shards = shard_pairs(pairs, shared=shared)
+        shard_span.set("shards", len(shards))
     if len(shards) <= 1:
-        return serial()
+        # Annotate the span already open rather than opening a second
+        # parallel-chase span: the trace shows one tree, reason included.
+        plan.stats.serial_fallback_reason = "single-component"
+        parallel_span.set("serial_fallback_reason", "single-component")
+        try:
+            return chase(
+                plan,
+                instance,
+                resolver=resolver,
+                candidate_pairs=pairs,
+                max_rounds=max_rounds,
+            )
+        finally:
+            parallel_span.__exit__(None, None, None)
 
     bins = assign_shards(shards, workers)
-    tasks = _bin_tasks(instance, bins, shared, max_rounds)
+    tasks = _bin_tasks(instance, bins, shared, max_rounds, trace=tracer.enabled)
     method = start_method or os.environ.get(START_METHOD_ENV) or None
     context = multiprocessing.get_context(method)
-    with context.Pool(
-        processes=len(bins), initializer=_init_worker, initargs=(spec_document,)
-    ) as pool:
-        outcomes = pool.map(_run_task, tasks)
+    with tracer.span("pool", bins=len(bins), start_method=method or "default") as pool_span:
+        with context.Pool(
+            processes=len(bins), initializer=_init_worker, initargs=(spec_document,)
+        ) as pool:
+            outcomes = pool.map(_run_task, tasks)
+        # Merge the per-worker span trees under the pool span, one
+        # named thread row per bin, re-based to the pool's start (the
+        # worker clock need not share the parent's epoch).
+        if tracer.enabled:
+            for index, outcome in enumerate(outcomes):
+                tracer.attach(
+                    outcome.spans, rebase_to=pool_span.start, worker=index
+                )
 
     working = instance.copy()
     cells = _CellUnionFind()
-    for outcome in outcomes:
-        for group in outcome.groups:
-            anchor = group[0]
-            for member in group[1:]:
-                cells.union(anchor, member)
-        for (side, tid, attribute), value in outcome.updates:
-            relation = working.left if side == LEFT else working.right
-            relation.set_value(tid, attribute, value)
+    with tracer.span("merge-shards") as merge_span:
+        for outcome in outcomes:
+            for group in outcome.groups:
+                anchor = group[0]
+                for member in group[1:]:
+                    cells.union(anchor, member)
+            for (side, tid, attribute), value in outcome.updates:
+                relation = working.left if side == LEFT else working.right
+                relation.set_value(tid, attribute, value)
 
-    # Re-resolve every merged class once over the merged instance — a
-    # no-op when the shard chases converged (each class already carries
-    # its resolved value), and the documented single resolution pass
-    # otherwise.
-    for members in cells.classes():
-        values = []
-        for side, tid, attribute in sorted(members):
-            relation = working.left if side == LEFT else working.right
-            values.append(relation[tid][attribute])
-        resolved = resolver(values)
-        for side, tid, attribute in members:
-            relation = working.left if side == LEFT else working.right
-            if relation[tid][attribute] != resolved:
-                relation.set_value(tid, attribute, resolved)
+        # Re-resolve every merged class once over the merged instance — a
+        # no-op when the shard chases converged (each class already carries
+        # its resolved value), and the documented single resolution pass
+        # otherwise.
+        for members in cells.classes():
+            values = []
+            for side, tid, attribute in sorted(members):
+                relation = working.left if side == LEFT else working.right
+                values.append(relation[tid][attribute])
+            resolved = resolver(values)
+            for side, tid, attribute in members:
+                relation = working.left if side == LEFT else working.right
+                if relation[tid][attribute] != resolved:
+                    relation.set_value(tid, attribute, resolved)
+        merge_span.set("classes", len(cells.classes()))
 
     stats = plan.stats
     stats.enforcements += 1
@@ -369,11 +432,20 @@ def parallel_chase(
     stats.shards += len(shards)
     stats.parallel_chases += 1
     stats.workers_spawned += len(bins)
+    stats.serial_fallback_reason = None
+    rounds_exhausted = any(o.rounds_exhausted for o in outcomes)
+    if rounds_exhausted:
+        stats.rounds_exhausted += 1
+    plan.metrics.observe(
+        "chase.rounds", max(outcome.rounds for outcome in outcomes)
+    )
+    parallel_span.set("shards", len(shards))
+    parallel_span.__exit__(None, None, None)
     return EnforcementResult(
         instance=working,
         stable=all(outcome.stable for outcome in outcomes),
         rounds=max(outcome.rounds for outcome in outcomes),
         merged_cells=cells,
         applications=sum(outcome.applications for outcome in outcomes),
-        rounds_exhausted=any(outcome.rounds_exhausted for outcome in outcomes),
+        rounds_exhausted=rounds_exhausted,
     )

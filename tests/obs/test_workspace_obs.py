@@ -1,0 +1,311 @@
+"""Observability through the façade: spans, stats, and worker merging.
+
+The acceptance criteria for ``repro.obs`` live here: a traced
+:class:`~repro.api.Workspace` match records the whole pipeline
+(compile → blocking → chase rounds), a traced *parallel* match merges
+every worker's span tree under the pool span (under both ``fork`` and
+``spawn``), an untraced run records exactly nothing and decides exactly
+the same matches, every serial fallback is named in the stats AND on the
+trace, and ``MatchReport.stats`` keeps every pre-existing ``PlanStats``
+key.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import fields
+
+import pytest
+
+from repro.api import Workspace
+from repro.core.schema import LEFT, RIGHT
+from repro.datagen.generator import generate_dataset
+from repro.datagen.schemas import extended_mds
+from repro.experiments.harness import resolution_spec_document
+from repro.obs import NULL_TRACER, read_trace, validate_trace
+from repro.plan import parallel
+from repro.plan.compile import PlanStats
+
+
+def _document(dataset, workers=1, traced=True, **blocking):
+    document = resolution_spec_document(
+        dataset.pair,
+        dataset.target,
+        extended_mds(dataset.pair),
+        blocking={"backend": "hash", "key_length": 2, **blocking},
+        execution={"mode": "enforce", "workers": workers},
+    )
+    if traced:
+        document["observability"] = {"enabled": True}
+    return document
+
+
+def _all_spans(tracer):
+    """Every recorded span, preorder across the root forest."""
+    return [
+        span for root in tracer.spans() for span, _ in root.walk()
+    ]
+
+
+def _named(tracer, name):
+    return [span for span in _all_spans(tracer) if span.name == name]
+
+
+class TestTracedMatch:
+    def test_traced_match_covers_the_whole_pipeline(self):
+        dataset = generate_dataset(60, seed=3)
+        workspace = Workspace.from_dict(_document(dataset))
+        report = workspace.match(dataset.credit, dataset.billing)
+        assert report.matches  # a trivial run would prove nothing
+
+        names = {span.name for span in _all_spans(workspace.tracer)}
+        # Compile stage (one span tree per workspace lifetime)...
+        assert {"compile", "parse-mds", "deduce-rcks",
+                "build-blocking", "compile-plan"} <= names
+        # ...and the enforcement stage, down to individual chase rounds.
+        assert {"enforce", "blocking", "chase", "chase-round",
+                "provenance"} <= names
+
+        # Rounds nest under their chase, and their count agrees with the
+        # span attribute the chase recorded.
+        (chase,) = _named(workspace.tracer, "chase")
+        rounds = [c for c in chase.children if c.name == "chase-round"]
+        assert len(rounds) == chase.attrs["rounds"] > 0
+        assert all(span.duration >= 0.0 for span in _all_spans(workspace.tracer))
+
+        # The registry's view of the same run lands in the report.
+        histograms = report.stats["histograms"]
+        for name in ("chase.rounds", "chase.seconds", "match.seconds"):
+            assert histograms[name]["count"] == 1
+
+    def test_tracing_off_is_silent_and_equivalent(self):
+        """The differential guarantee: observing a run never alters it."""
+        dataset = generate_dataset(60, seed=11)
+        untraced = Workspace.from_dict(_document(dataset, traced=False))
+        traced = Workspace.from_dict(_document(dataset, traced=True))
+
+        assert untraced.tracer is NULL_TRACER
+        plain = untraced.match(dataset.credit, dataset.billing)
+        observed = traced.match(dataset.credit, dataset.billing)
+
+        assert untraced.tracer.event_count() == 0
+        assert traced.tracer.event_count() > 0
+        assert plain.matches == observed.matches
+        assert plain.clusters == observed.clusters
+        assert plain.provenance == observed.provenance
+        # The observability section is excluded from the fingerprint.
+        assert plain.fingerprint == observed.fingerprint
+
+
+class TestWorkerSpanMerge:
+    @pytest.fixture(autouse=True)
+    def force_pool(self, monkeypatch):
+        monkeypatch.setattr(parallel, "PARALLEL_MIN_PAIRS", 0)
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_worker_span_trees_merge_under_the_pool(self, method, monkeypatch):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"platform has no {method} start method")
+        monkeypatch.setenv(parallel.START_METHOD_ENV, method)
+
+        dataset = generate_dataset(120, seed=3)
+        workspace = Workspace.from_dict(_document(dataset, workers=4))
+        workspace.match(dataset.credit, dataset.billing)
+        stats = workspace.plan.stats
+        assert stats.parallel_chases == 1
+        assert stats.serial_fallback_reason is None
+
+        tracer = workspace.tracer
+        (pool,) = _named(tracer, "pool")
+        assert pool.attrs["start_method"] == method
+        # One worker chase tree per bin, tagged with its worker index
+        # and re-based into the parent's clock (inside the pool span).
+        attached = [c for c in pool.children if "worker" in c.attrs]
+        assert {span.attrs["worker"] for span in attached} == set(
+            range(stats.workers_spawned)
+        )
+        for span in attached:
+            assert span.name == "chase"
+            assert span.start >= pool.start
+            assert any(c.name == "chase-round" for c in span.children)
+
+        # The surrounding structure is recorded too.
+        (parallel_span,) = _named(tracer, "parallel-chase")
+        assert "serial_fallback_reason" not in parallel_span.attrs
+        assert parallel_span.attrs["shards"] == stats.shards
+        assert _named(tracer, "shard-pairs")
+        (merge,) = _named(tracer, "merge-shards")
+        assert merge.attrs["classes"] >= 0
+
+
+class TestSerialFallbackReasons:
+    """Satellite (b): every fallback names its reason, nothing is silent."""
+
+    def _reason_on_trace(self, workspace):
+        (span,) = _named(workspace.tracer, "parallel-chase")
+        return span.attrs["serial_fallback_reason"]
+
+    def test_below_min_pairs(self):
+        # The default threshold (64) exceeds this workload's candidates.
+        dataset = generate_dataset(30, seed=3)
+        workspace = Workspace.from_dict(_document(dataset, workers=4))
+        report = workspace.match(dataset.credit, dataset.billing)
+        reason = report.stats["serial_fallback_reason"]
+        assert reason.startswith("below-min-pairs(")
+        assert reason.endswith("<64)")
+        assert workspace.plan.stats.parallel_chases == 0
+        assert self._reason_on_trace(workspace) == reason
+
+    def test_single_component(self, monkeypatch):
+        monkeypatch.setattr(parallel, "PARALLEL_MIN_PAIRS", 0)
+        dataset = generate_dataset(60, seed=3)
+        document = resolution_spec_document(
+            dataset.pair,
+            dataset.target,
+            extended_mds(dataset.pair),
+            blocking={"backend": "sorted-neighborhood", "window": 10},
+            execution={"mode": "enforce", "workers": 4},
+        )
+        document["observability"] = {"enabled": True}
+        workspace = Workspace.from_dict(document)
+        report = workspace.match(dataset.credit, dataset.billing)
+        assert report.stats["serial_fallback_reason"] == "single-component"
+        assert self._reason_on_trace(workspace) == "single-component"
+
+    def test_unnamed_resolver(self, monkeypatch):
+        monkeypatch.setattr(parallel, "PARALLEL_MIN_PAIRS", 0)
+        dataset = generate_dataset(60, seed=3)
+        workspace = Workspace.from_dict(_document(dataset, workers=4))
+        plan = workspace.plan
+        from repro.core.semantics import InstancePair
+
+        plan.enforce(
+            InstancePair(plan.pair, dataset.credit, dataset.billing),
+            resolver=lambda values: values[0],  # not a named policy
+            workers=4,
+            spec_document=workspace.spec.to_dict(),
+        )
+        assert plan.stats.serial_fallback_reason == "unnamed-resolver"
+
+    def test_no_spec_document(self, monkeypatch):
+        monkeypatch.setattr(parallel, "PARALLEL_MIN_PAIRS", 0)
+        dataset = generate_dataset(60, seed=3)
+        workspace = Workspace.from_dict(_document(dataset, workers=4))
+        plan = workspace.plan
+        from repro.core.semantics import InstancePair
+        from repro.metrics.registry import default_registry
+
+        # A plan on a custom registry cannot ship a spec to workers.
+        plan.registry = default_registry()
+        plan.enforce(
+            InstancePair(plan.pair, dataset.credit, dataset.billing),
+            workers=4,
+        )
+        assert plan.stats.serial_fallback_reason == "no-spec-document"
+
+    def test_workers_at_most_one(self):
+        dataset = generate_dataset(30, seed=3)
+        workspace = Workspace.from_dict(_document(dataset, workers=1))
+        from repro.core.semantics import InstancePair
+
+        parallel.parallel_chase(
+            workspace.plan,
+            InstancePair(workspace.plan.pair, dataset.credit, dataset.billing),
+            candidate_pairs=workspace.plan.candidates(
+                dataset.credit, dataset.billing
+            ),
+            workers=1,
+        )
+        assert workspace.plan.stats.serial_fallback_reason == "workers<=1"
+
+
+class TestStatsBackwardCompat:
+    def test_every_planstats_key_survives(self):
+        """Satellite (c): old consumers of ``report.stats`` keep working."""
+        dataset = generate_dataset(60, seed=3)
+        workspace = Workspace.from_dict(_document(dataset, traced=False))
+        report = workspace.match(dataset.credit, dataset.billing)
+
+        for spec in fields(PlanStats):
+            assert spec.name in report.stats
+        # The counters stay plain ints at the top level.
+        assert report.stats["compiles"] == 1
+        assert report.stats["enforcements"] == 1
+        assert isinstance(report.stats["pairs_compared"], int)
+        assert report.stats["serial_fallback_reason"] is None
+        # The registry's richer sections ride along without colliding.
+        assert isinstance(report.stats["gauges"], dict)
+        assert report.stats["histograms"]["match.seconds"]["count"] == 1
+        # And the rendering is JSON-clean end to end.
+        import json
+
+        json.dumps(report.to_dict())
+
+
+class TestWriteTrace:
+    def test_write_trace_to_explicit_path(self, tmp_path):
+        dataset = generate_dataset(60, seed=3)
+        workspace = Workspace.from_dict(_document(dataset))
+        workspace.match(dataset.credit, dataset.billing)
+        path = tmp_path / "trace.json"
+        document = workspace.write_trace(path, command="test-run")
+        assert validate_trace(document) == []
+        reread = read_trace(path)
+        assert validate_trace(reread) == []
+        manifest = reread["manifest"]
+        assert manifest["spec_fingerprint"] == workspace.fingerprint
+        assert manifest["mode"] == "enforce"
+        assert manifest["workers"] == 1
+        assert manifest["policy"] == workspace.spec.policy
+        assert manifest["command"] == "test-run"
+
+    def test_spec_trace_path_is_the_default(self, tmp_path):
+        dataset = generate_dataset(60, seed=3)
+        document = _document(dataset)
+        target = tmp_path / "spec-trace.jsonl"
+        document["observability"] = {
+            "enabled": True, "trace": str(target), "trace_format": "jsonl",
+        }
+        workspace = Workspace.from_dict(document)
+        workspace.match(dataset.credit, dataset.billing)
+        workspace.write_trace()
+        assert validate_trace(read_trace(target)) == []
+
+    def test_no_path_anywhere_is_an_error(self):
+        dataset = generate_dataset(30, seed=3)
+        workspace = Workspace.from_dict(_document(dataset))
+        with pytest.raises(ValueError, match="no trace path"):
+            workspace.write_trace()
+
+
+class TestEngineStreamTracing:
+    def test_ingest_spans_and_metrics(self):
+        dataset = generate_dataset(40, seed=3)
+        workspace = Workspace.from_dict(_document(dataset))
+        matcher = workspace.stream()
+        ingested = 0
+        for side, relation in ((LEFT, dataset.credit), (RIGHT, dataset.billing)):
+            for row in list(relation)[:10]:
+                matcher.ingest(side, row.values())
+                ingested += 1
+
+        spans = _named(workspace.tracer, "ingest")
+        assert len(spans) == ingested
+        for span in spans:
+            assert span.attrs["side"] in (LEFT, RIGHT)
+            assert "tid" in span.attrs
+
+        rendered = workspace.metrics.as_dict()
+        assert rendered["counters"]["engine.ingests"] == ingested
+        assert rendered["histograms"]["engine.ingest_seconds"]["count"] == ingested
+        # Store growth gauges track the store itself (last write wins).
+        assert rendered["gauges"]["engine.left_rows"] == len(matcher.store.left)
+        assert rendered["gauges"]["engine.right_rows"] == len(matcher.store.right)
+        assert rendered["gauges"]["engine.left_rows"] > 0
+
+    def test_stream_shares_the_workspace_tracer(self):
+        dataset = generate_dataset(30, seed=3)
+        workspace = Workspace.from_dict(_document(dataset))
+        matcher = workspace.stream()
+        assert matcher.tracer is workspace.tracer
+        assert matcher.metrics is workspace.metrics
