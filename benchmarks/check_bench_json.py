@@ -76,6 +76,20 @@ SCHEMAS = {
         "wallclock_speedup": float,
         "critical_path_speedup": float,
     },
+    "plan_factorised": {
+        "K": int,
+        "entities": int,
+        "candidates": int,
+        "groups": int,
+        "factorisation_ratio": float,
+        "matches": int,
+        "matches_identical": int,
+        "factorised_evaluations": int,
+        "pairwise_evaluations": int,
+        "evaluation_saving": float,
+        "factorised_seconds": float,
+        "pairwise_seconds": float,
+    },
     "obs_tracer_overhead": {
         "K": int,
         "traced_off_events": int,
@@ -194,6 +208,26 @@ def check_document(document: dict) -> list:
                 f"{name}: critical-path speedup "
                 f"{document['critical_path_speedup']:.2f} regressed below "
                 "the asserted 1.5x"
+            )
+        if document["matches"] <= 0:
+            problems.append(f"{name}: no matches decided")
+    elif name == "plan_factorised":
+        if document["matches_identical"] != 1:
+            problems.append(
+                f"{name}: factorised and pairwise chases decided different "
+                "matches"
+            )
+        if document["groups"] >= document["candidates"]:
+            problems.append(
+                f"{name}: {document['groups']} group(s) for "
+                f"{document['candidates']} candidate pair(s) — "
+                "factorisation collapsed nothing"
+            )
+        if document["factorised_evaluations"] * 3 > document["pairwise_evaluations"]:
+            problems.append(
+                f"{name}: evaluation saving "
+                f"{document['evaluation_saving']:.2f} regressed below the "
+                "asserted 3x"
             )
         if document["matches"] <= 0:
             problems.append(f"{name}: no matches decided")

@@ -67,6 +67,12 @@ def parallel_size():
     return 4000 if FULL else 1500
 
 
+def factorised_size():
+    if TINY:
+        return 250
+    return 4000 if FULL else 1000
+
+
 @pytest.fixture(scope="session")
 def bench_sizes():
     return matching_sizes()

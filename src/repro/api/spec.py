@@ -232,6 +232,7 @@ class ResolutionSpec:
     cache: bool = True
     cache_limit: int = DEFAULT_CACHE_LIMIT
     workers: int = 1
+    factorised: bool = True
     obs_enabled: bool = False
     trace_path: Optional[str] = None
     trace_format: str = "chrome"
@@ -489,12 +490,13 @@ class ResolutionSpec:
         max_rounds, max_cascade = 100, 256
         cache, cache_limit = True, DEFAULT_CACHE_LIMIT
         workers = 1
+        factorised = True
         if not isinstance(execution, dict):
             errors.append(f"execution: expected an object, got {execution!r}")
         else:
             unknown_exec = set(execution) - {
                 "mode", "max_rounds", "max_cascade", "cache", "cache_limit",
-                "workers",
+                "workers", "factorised",
             }
             if unknown_exec:
                 errors.append(f"execution: unknown key(s) {sorted(unknown_exec)}")
@@ -517,6 +519,12 @@ class ResolutionSpec:
             _check_int(errors, "execution.cache_limit", cache_limit, 1)
             workers = execution.get("workers", 1)
             _check_int(errors, "execution.workers", workers, 1)
+            factorised = execution.get("factorised", True)
+            if not isinstance(factorised, bool):
+                errors.append(
+                    f"execution.factorised: expected true or false, "
+                    f"got {factorised!r}"
+                )
 
         # -- observability ----------------------------------------------
         observability = document.get("observability", {})
@@ -591,6 +599,7 @@ class ResolutionSpec:
             cache=cache,
             cache_limit=cache_limit,
             workers=workers,
+            factorised=factorised,
             obs_enabled=obs_enabled,
             trace_path=trace_path,
             trace_format=trace_format,
@@ -650,6 +659,7 @@ class ResolutionSpec:
                 "cache": self.cache,
                 "cache_limit": self.cache_limit,
                 "workers": self.workers,
+                "factorised": self.factorised,
             },
             "observability": {
                 "enabled": self.obs_enabled,
@@ -675,21 +685,24 @@ class ResolutionSpec:
         changes it.  Engine snapshots embed it to reject restores under
         an incompatible spec.
 
-        ``execution.workers`` is excluded: the worker count is a
-        deployment knob that provably never changes results (the
-        parallel/serial differential suite pins this), so two specs
-        differing only in it share a fingerprint — and a snapshot built
-        serially restores under a parallel spec.  The whole
-        ``observability`` section is excluded for the same reason:
-        tracing observes a run, it never alters one, so turning it on
-        must not invalidate snapshots or change what a report claims it
-        ran.
+        ``execution.workers`` and ``execution.factorised`` are excluded:
+        both are deployment knobs that provably never change results —
+        the parallel/serial differential suite pins the former, the
+        factorised/pairwise differential suite
+        (``tests/plan/test_factorised_equivalence.py``) the latter — so
+        specs differing only in them share a fingerprint, and a snapshot
+        built serially (or pairwise) restores under a parallel (or
+        factorised) spec.  The whole ``observability`` section is
+        excluded for the same reason: tracing observes a run, it never
+        alters one, so turning it on must not invalidate snapshots or
+        change what a report claims it ran.
         """
         cached = self._fingerprint
         if cached is None:
             document = self.to_dict()
             execution = dict(document["execution"])
             execution.pop("workers")
+            execution.pop("factorised")
             document["execution"] = execution
             document.pop("observability")
             payload = json.dumps(

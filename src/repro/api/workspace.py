@@ -314,6 +314,7 @@ class Workspace:
                 spec_document=(
                     self.spec.to_dict() if self.spec.workers > 1 else None
                 ),
+                factorised=self.spec.factorised,
             )
             target_pairs = plan.target.attribute_pairs()
             matches = [
@@ -402,6 +403,7 @@ class Workspace:
             key_length=spec.key_length,
             encode_attributes=spec.encode,
             max_cascade=spec.max_cascade,
+            factorised=spec.factorised,
             tracer=self.tracer,
             metrics=self.metrics,
         )
@@ -421,7 +423,8 @@ class Workspace:
             f"fingerprint {self.fingerprint}",
             f"# execution: mode={spec.mode}, policy={spec.policy}, "
             f"top_k={spec.top_k}, cache={'on' if spec.cache else 'off'}, "
-            f"workers={spec.workers}",
+            f"workers={spec.workers}, "
+            f"factorised={'on' if spec.factorised else 'off'}",
             self.plan.explain(),
         ]
         return "\n".join(lines)

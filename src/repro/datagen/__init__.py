@@ -1,6 +1,11 @@
 """Synthetic data: schemas, corpora, noise, datasets, random MD workloads."""
 
-from .generator import MatchingDataset, figure1_instances, generate_dataset
+from .generator import (
+    MatchingDataset,
+    figure1_instances,
+    generate_dataset,
+    high_duplication_dataset,
+)
 from .mdgen import (
     DEFAULT_OPERATORS,
     GeneratedWorkload,
@@ -42,6 +47,7 @@ __all__ = [
     "figure1_instances",
     "generate_dataset",
     "generate_workload",
+    "high_duplication_dataset",
     "light_noise",
     "paper_mds",
     "paper_target",

@@ -119,6 +119,7 @@ class IncrementalMatcher:
         encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
         max_cascade: int = 256,
         plan: Optional[EnforcementPlan] = None,
+        factorised: bool = True,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -153,6 +154,11 @@ class IncrementalMatcher:
         self.registry = plan.registry
         self.resolver = resolver
         self.max_cascade = max_cascade
+        #: Chase each delta factorised (repro.plan.factorise).  The group
+        #: verdict cache lives on the shared plan, so a stream of
+        #: near-duplicates keeps reusing verdicts across ingests — the
+        #: incremental counterpart of the similarity memo.
+        self.factorised = factorised
         if store is None:
             store = MatchStore(
                 self.target, plan.rcks, key_length, encode_attributes
@@ -362,7 +368,10 @@ class IncrementalMatcher:
         identified all target cells, exactly the batch matcher's decision
         rule: both run :meth:`EnforcementPlan.enforce` on the same
         compiled rules, and the plan's similarity cache persists across
-        ingests (a stream of near-duplicates keeps hitting it).
+        ingests (a stream of near-duplicates keeps hitting it).  On the
+        factorised path the plan's group-verdict cache persists the same
+        way: a delta whose pairs present already-seen value-pair
+        signatures costs zero predicate probes.
         """
         store = self.store
         involved_left = sorted({left_tid for left_tid, _ in pairs})
@@ -385,6 +394,7 @@ class IncrementalMatcher:
             instance,
             resolver=self.resolver,
             candidate_pairs=list(pairs),
+            factorised=self.factorised,
         )
         return [
             (left_tid, right_tid)

@@ -8,7 +8,8 @@
    independently (see that module for why this is sound);
 2. the shards are packed into per-worker bins
    (:func:`~repro.plan.shard.assign_shards`) and each bin is chased in a
-   worker process.  Compiled plans hold resolved metric callables and
+   worker process — factorised by default, each worker grouping its own
+   bin's pairs by value-pair signature (:mod:`repro.plan.factorise`).  Compiled plans hold resolved metric callables and
    closures, so they do not pickle; every worker instead **rebuilds the
    plan from the pickled** :class:`~repro.api.spec.ResolutionSpec`
    **document** once (pool initializer) and receives only its bin's rows
@@ -58,7 +59,7 @@ from repro.obs.trace import Tracer
 from repro.relations.relation import Relation
 
 from .blocking import Pair
-from .executor import chase
+from .executor import chase, chase_factorised
 from .shard import assign_shards, shard_pairs
 
 #: Below this many candidate pairs the serial loop runs instead — pool
@@ -90,6 +91,9 @@ class ShardTask:
     pairs: Tuple[Pair, ...]
     max_rounds: int
     trace: bool = False
+    #: Chase this bin factorised (the worker groups its own shard's
+    #: pairs by value-pair signature; see repro.plan.factorise).
+    factorised: bool = True
 
 
 @dataclass(frozen=True)
@@ -104,6 +108,9 @@ class ShardOutcome:
     rounds_exhausted: bool
     metric_evaluations: int
     cache_hits: int
+    #: Factorised-path counter deltas (zero on the pairwise path).
+    value_pairs_evaluated: int = 0
+    groups_built: int = 0
     #: Serialized root spans of the worker's chase (empty unless the
     #: task asked for tracing).
     spans: Tuple[Dict[str, object], ...] = ()
@@ -145,6 +152,8 @@ def _run_task(task: ShardTask) -> ShardOutcome:
     stats = plan.stats
     evaluations_before = stats.metric_evaluations
     hits_before = stats.cache_hits
+    value_pairs_before = stats.value_pairs_evaluated
+    groups_before = stats.groups_built
     # A traced parent asks each worker to record its own span tree; the
     # worker's plan is rebuilt per process, so swapping the tracer in
     # and out around one task is safe (tasks run sequentially per
@@ -153,8 +162,9 @@ def _run_task(task: ShardTask) -> ShardOutcome:
     saved_tracer = plan.tracer
     if worker_tracer is not None:
         plan.tracer = worker_tracer
+    kernel = chase_factorised if task.factorised and plan.rules else chase
     try:
-        result = chase(
+        result = kernel(
             plan,
             instance,
             resolver=resolver,
@@ -186,6 +196,8 @@ def _run_task(task: ShardTask) -> ShardOutcome:
         rounds_exhausted=result.rounds_exhausted,
         metric_evaluations=stats.metric_evaluations - evaluations_before,
         cache_hits=stats.cache_hits - hits_before,
+        value_pairs_evaluated=stats.value_pairs_evaluated - value_pairs_before,
+        groups_built=stats.groups_built - groups_before,
         spans=(
             tuple(span.to_dict() for span in worker_tracer.spans())
             if worker_tracer is not None
@@ -257,6 +269,7 @@ def _bin_tasks(
     shared: bool,
     max_rounds: int,
     trace: bool = False,
+    factorised: bool = True,
 ) -> List[ShardTask]:
     tasks = []
     for bin_ in bins:
@@ -280,6 +293,7 @@ def _bin_tasks(
                 pairs=tuple(pair for shard in bin_ for pair in shard.pairs),
                 max_rounds=max_rounds,
                 trace=trace,
+                factorised=factorised,
             )
         )
     return tasks
@@ -310,6 +324,7 @@ def parallel_chase(
     max_rounds: int = 100,
     min_pairs: Optional[int] = None,
     start_method: Optional[str] = None,
+    factorised: bool = True,
 ) -> EnforcementResult:
     """Chase ``instance`` in parallel; serial fallback when it cannot pay.
 
@@ -329,6 +344,8 @@ def parallel_chase(
     threshold = PARALLEL_MIN_PAIRS if min_pairs is None else min_pairs
     shared = instance.left is instance.right
     tracer = plan.tracer
+    # The serial fallback honors the caller's kernel choice.
+    kernel = chase_factorised if factorised and plan.rules else chase
 
     def serial(reason: str) -> EnforcementResult:
         # The satellite guarantee: why a workers>1 request ran serially
@@ -337,7 +354,7 @@ def parallel_chase(
         plan.stats.serial_fallback_reason = reason
         with tracer.span("parallel-chase", pairs=len(pairs), workers=workers) as span:
             span.set("serial_fallback_reason", reason)
-            return chase(
+            return kernel(
                 plan,
                 instance,
                 resolver=resolver,
@@ -366,7 +383,7 @@ def parallel_chase(
         plan.stats.serial_fallback_reason = "single-component"
         parallel_span.set("serial_fallback_reason", "single-component")
         try:
-            return chase(
+            return kernel(
                 plan,
                 instance,
                 resolver=resolver,
@@ -377,7 +394,10 @@ def parallel_chase(
             parallel_span.__exit__(None, None, None)
 
     bins = assign_shards(shards, workers)
-    tasks = _bin_tasks(instance, bins, shared, max_rounds, trace=tracer.enabled)
+    tasks = _bin_tasks(
+        instance, bins, shared, max_rounds,
+        trace=tracer.enabled, factorised=factorised,
+    )
     method = start_method or os.environ.get(START_METHOD_ENV) or None
     context = multiprocessing.get_context(method)
     with tracer.span("pool", bins=len(bins), start_method=method or "default") as pool_span:
@@ -429,6 +449,11 @@ def parallel_chase(
     stats.rule_applications += sum(o.applications for o in outcomes)
     stats.metric_evaluations += sum(o.metric_evaluations for o in outcomes)
     stats.cache_hits += sum(o.cache_hits for o in outcomes)
+    stats.value_pairs_evaluated += sum(o.value_pairs_evaluated for o in outcomes)
+    merged_groups = sum(o.groups_built for o in outcomes)
+    stats.groups_built += merged_groups
+    if merged_groups:
+        stats.factorisation_ratio = round(len(pairs) / merged_groups, 4)
     stats.shards += len(shards)
     stats.parallel_chases += 1
     stats.workers_spawned += len(bins)
