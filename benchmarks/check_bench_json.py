@@ -99,6 +99,17 @@ SCHEMAS = {
         "overhead_fraction": float,
         "reports_identical": int,
     },
+    "store_sqlite": {
+        "records": int,
+        "ingest_seconds": float,
+        "records_per_sec": float,
+        "disk_bytes": int,
+        "matched_clusters": int,
+        "warm_restart_seconds": float,
+        "snapshot_rebuild_seconds": float,
+        "restart_speedup": float,
+        "clusters_identical": int,
+    },
 }
 
 #: Keys every histogram summary in a ``metrics`` payload must carry
@@ -249,6 +260,24 @@ def check_document(document: dict) -> list:
         if document["reports_identical"] != 1:
             problems.append(
                 f"{name}: traced and untraced runs decided different matches"
+            )
+    elif name == "store_sqlite":
+        if document["records"] <= 0 or document["matched_clusters"] <= 0:
+            problems.append(f"{name}: empty run")
+        if document["disk_bytes"] <= 0:
+            problems.append(f"{name}: store wrote nothing to disk")
+        if document["clusters_identical"] != 1:
+            problems.append(
+                f"{name}: warm-restarted and snapshot-rebuilt stores "
+                "report different clusters"
+            )
+        # The durable backend's acceptance bound: reopening the database
+        # (meta read only) must beat replaying the JSON snapshot.
+        if document["restart_speedup"] < 5:
+            problems.append(
+                f"{name}: warm-restart speedup "
+                f"{document['restart_speedup']:.1f} regressed below the "
+                "asserted 5x"
             )
     return problems
 

@@ -54,6 +54,7 @@ _LAZY_ATTRIBUTES = {
     # The streaming engine (repro.engine).
     "IncrementalMatcher": "repro.engine",
     "MatchStore": "repro.engine",
+    "SQLiteMatchStore": "repro.engine",
     "load_store": "repro.engine",
     "save_store": "repro.engine",
     # Core reasoning (repro.core).

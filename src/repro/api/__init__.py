@@ -28,6 +28,7 @@ Typical use::
 from .spec import (
     BLOCKING_BACKENDS,
     EXECUTION_MODES,
+    PERSISTENCE_BACKENDS,
     SPEC_VERSION,
     VALUE_POLICIES,
     ResolutionSpec,
@@ -40,6 +41,7 @@ __all__ = [
     "BLOCKING_BACKENDS",
     "EXECUTION_MODES",
     "MatchReport",
+    "PERSISTENCE_BACKENDS",
     "ResolutionSpec",
     "SPEC_VERSION",
     "SpecBuilder",

@@ -54,10 +54,14 @@ BLOCKING_BACKENDS = ("sorted-neighborhood", "hash")
 #: Execution modes a spec may name in its ``execution`` section.
 EXECUTION_MODES = ("enforce", "direct")
 
+#: Store backends a spec may name in its ``persistence`` section.
+PERSISTENCE_BACKENDS = ("memory", "sqlite")
+
 #: Sections a v1 document may contain.
 _SECTIONS = (
     "version", "schema", "target", "rules", "metrics",
     "blocking", "resolution", "execution", "observability",
+    "persistence",
 )
 
 
@@ -236,6 +240,8 @@ class ResolutionSpec:
     obs_enabled: bool = False
     trace_path: Optional[str] = None
     trace_format: str = "chrome"
+    persistence_backend: str = "memory"
+    persistence_path: Optional[str] = None
     _fingerprint: Optional[str] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -565,6 +571,43 @@ class ResolutionSpec:
                 )
                 trace_format = "chrome"
 
+        # -- persistence ------------------------------------------------
+        persistence = document.get("persistence", {})
+        persistence_backend = "memory"
+        persistence_path: Optional[str] = None
+        if not isinstance(persistence, dict):
+            errors.append(
+                f"persistence: expected an object, got {persistence!r}"
+            )
+        else:
+            unknown_persist = set(persistence) - {"backend", "path"}
+            if unknown_persist:
+                errors.append(
+                    f"persistence: unknown key(s) {sorted(unknown_persist)}"
+                )
+            persistence_backend = persistence.get("backend", "memory")
+            if persistence_backend not in PERSISTENCE_BACKENDS:
+                errors.append(
+                    f"persistence.backend: unknown backend "
+                    f"{persistence_backend!r}; choose one of "
+                    f"{list(PERSISTENCE_BACKENDS)}"
+                )
+                persistence_backend = "memory"
+            persistence_path = persistence.get("path")
+            if persistence_path is not None and not isinstance(
+                persistence_path, str
+            ):
+                errors.append(
+                    f"persistence.path: expected null or a file path "
+                    f"string, got {persistence_path!r}"
+                )
+                persistence_path = None
+            if persistence_backend == "sqlite" and persistence_path is None:
+                errors.append(
+                    "persistence.path: the sqlite backend needs a store "
+                    "file path (e.g. \"store.db\")"
+                )
+
         metrics_section = document.get("metrics", {})
         metric_items: Tuple[Tuple[str, str], ...] = ()
         if isinstance(metrics_section, dict):
@@ -603,6 +646,8 @@ class ResolutionSpec:
             obs_enabled=obs_enabled,
             trace_path=trace_path,
             trace_format=trace_format,
+            persistence_backend=persistence_backend,
+            persistence_path=persistence_path,
         )
         return spec, []
 
@@ -666,6 +711,10 @@ class ResolutionSpec:
                 "trace": self.trace_path,
                 "trace_format": self.trace_format,
             },
+            "persistence": {
+                "backend": self.persistence_backend,
+                "path": self.persistence_path,
+            },
         }
 
     def to_json(self, indent: int = 1) -> str:
@@ -695,7 +744,12 @@ class ResolutionSpec:
         factorised) spec.  The whole ``observability`` section is
         excluded for the same reason: tracing observes a run, it never
         alters one, so turning it on must not invalidate snapshots or
-        change what a report claims it ran.
+        change what a report claims it ran.  ``persistence`` is excluded
+        too: *where* the store lives (memory, a SQLite file, which path)
+        never changes what is matched — the backend differential suite
+        (``tests/engine/test_sqlite_differential.py``) pins that — so a
+        store built under a memory spec resumes under a sqlite one and
+        vice versa.
         """
         cached = self._fingerprint
         if cached is None:
@@ -705,6 +759,7 @@ class ResolutionSpec:
             execution.pop("factorised")
             document["execution"] = execution
             document.pop("observability")
+            document.pop("persistence")
             payload = json.dumps(
                 document, sort_keys=True, separators=(",", ":")
             )
@@ -893,6 +948,19 @@ class SpecBuilder:
             "trace": trace,
             "trace_format": trace_format,
         }
+        return self
+
+    def persistence(
+        self, backend: str = "sqlite", path: Optional[str] = None
+    ) -> "SpecBuilder":
+        """Choose the engine store backend (and, for durable backends,
+        the store file path).
+
+        Like :meth:`observability`, the section never enters the
+        fingerprint — where the store lives does not change what is
+        matched.
+        """
+        self._document["persistence"] = {"backend": backend, "path": path}
         return self
 
     def execution(self, **options) -> "SpecBuilder":

@@ -377,18 +377,29 @@ class Workspace:
         """A spec-configured incremental matcher over this workspace's plan.
 
         ``store`` resumes from a restored
-        :class:`~repro.engine.store.MatchStore`; a store fingerprinted by
-        a *different* spec is rejected with :class:`SpecError` (restoring
-        it would silently match under rules it was not built with).  New
-        and legacy (unfingerprinted) stores are stamped with this spec's
-        fingerprint.
+        :class:`~repro.engine.store.MatchStore` (either backend); a store
+        fingerprinted by a *different* spec is rejected with
+        :class:`SpecError` (restoring it would silently match under rules
+        it was not built with).  New and legacy (unfingerprinted) stores
+        are stamped with this spec's fingerprint.
+
+        With ``persistence.backend = "sqlite"`` in the spec and no
+        explicit ``store``, the durable store at ``persistence.path`` is
+        opened — created empty on first use, resumed (an O(1) warm
+        restart) thereafter — under the same fingerprint semantics.
         """
         from repro.engine.matcher import IncrementalMatcher
 
         spec = self.spec
+        opened_here = False
+        if store is None and spec.persistence_backend == "sqlite":
+            store = self.open_store()
+            opened_here = True
         if store is not None:
             stamp = getattr(store, "spec_fingerprint", None)
             if stamp is not None and stamp != self.fingerprint:
+                if opened_here:
+                    store.close(commit=False)
                 raise SpecError(
                     [
                         f"store was built from spec {stamp}, but this "
@@ -409,7 +420,37 @@ class Workspace:
         )
         if matcher.store.spec_fingerprint is None:
             matcher.store.spec_fingerprint = self.fingerprint
+            matcher.store.commit()
         return matcher
+
+    def open_store(self, path=None):
+        """Open (or create) the spec's durable SQLite store.
+
+        ``path`` overrides ``persistence.path``.  The store is wired to
+        this workspace's tracer and metrics; its configuration comes from
+        the compiled plan, so an existing file created under a different
+        configuration is rejected by the store itself.
+        """
+        from repro.engine.sqlite import SQLiteMatchStore
+
+        spec = self.spec
+        target = path if path is not None else spec.persistence_path
+        if target is None:
+            raise SpecError(
+                [
+                    "no store path: pass one or set persistence.path "
+                    "in the spec"
+                ]
+            )
+        return SQLiteMatchStore(
+            target,
+            self.plan.target,
+            self.plan.rcks,
+            key_length=spec.key_length,
+            encode_attributes=spec.encode,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     # Introspection

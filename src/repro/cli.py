@@ -17,9 +17,12 @@ internally — but emits a ``DeprecationWarning``.
 * ``plan``    — ``plan explain`` prints the compiled ``EnforcementPlan``;
 * ``demo``    — run the paper's Fig. 1 example end to end;
 * ``engine``  — the incremental streaming engine: ``engine ingest``
-  streams CSV records into a persistent match store (snapshots embed the
-  spec fingerprint; resuming under a different spec is rejected),
-  ``engine stats`` reports counters, ``engine query`` prints a cluster;
+  streams CSV records into a persistent match store — a JSON snapshot or
+  a durable SQLite database (``.db``/``.sqlite`` paths or a spec
+  ``persistence`` section select SQLite; stores embed the spec
+  fingerprint and resuming under a different spec is rejected),
+  ``engine stats`` reports counters, ``engine query`` prints a cluster,
+  ``engine migrate`` converts between the two store formats;
 * ``trace``   — inspect trace files written with ``--trace`` on ``match``
   or ``engine ingest``: ``trace summarize`` aggregates per-span timings,
   ``trace validate`` schema-checks a file (what CI smoke runs).
@@ -46,6 +49,7 @@ import argparse
 import csv
 import json
 import os
+import sqlite3
 import sys
 import warnings
 from pathlib import Path
@@ -461,15 +465,43 @@ def cmd_plan_explain(args) -> int:
     return 0
 
 
+#: Path suffixes that select the SQLite backend for a *new* store file.
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
 def _load_engine_store(path: Path):
-    from repro.engine import load_store
+    """Open an existing store of either backend, sniffing the format.
+
+    SQLite files are recognized by their magic bytes, so a store keeps
+    working however it is named; everything else is read as a JSON
+    snapshot.  All failure modes (missing file, unreadable or corrupt
+    content, wrong version) surface as actionable :class:`CliError`.
+    """
+    from repro.engine import SQLiteMatchStore, is_sqlite_file, load_store
 
     if not path.exists():
-        raise CliError(f"store snapshot not found: {path}")
+        raise CliError(f"store not found: {path}")
+    if is_sqlite_file(path):
+        try:
+            return SQLiteMatchStore(path)
+        except (ValueError, KeyError, TypeError, sqlite3.Error) as error:
+            raise CliError(f"cannot open store {path}: {error}") from None
     try:
         return load_store(path)
     except (ValueError, KeyError, TypeError) as error:
         raise CliError(f"cannot read store {path}: {error}") from None
+
+
+def _wants_sqlite(spec, store_path: Path) -> bool:
+    """Whether a *new* store at ``store_path`` should be SQLite-backed.
+
+    Either the spec asks for it (``persistence.backend``) or the path's
+    suffix does (``.db``/``.sqlite``/``.sqlite3``).
+    """
+    return (
+        spec.persistence_backend == "sqlite"
+        or store_path.suffix.lower() in _SQLITE_SUFFIXES
+    )
 
 
 def cmd_engine_ingest(args) -> int:
@@ -484,6 +516,8 @@ def cmd_engine_ingest(args) -> int:
     store = None
     if store_path.exists():
         store = _load_engine_store(store_path)
+    elif _wants_sqlite(spec, store_path):
+        store = workspace.open_store(store_path)
     try:
         matcher = workspace.stream(store=store)
     except SpecError as error:
@@ -503,7 +537,11 @@ def cmd_engine_ingest(args) -> int:
         for row in relation:
             matcher.ingest(side, row.values())
             ingested += 1
-    save_store(matcher.store, store_path)
+    if matcher.store.backend_name == "sqlite":
+        # Every ingest already committed durably; just flush the tail.
+        matcher.store.commit()
+    else:
+        save_store(matcher.store, store_path)
     _write_cli_trace(
         workspace,
         args,
@@ -540,6 +578,9 @@ def cmd_engine_stats(args) -> int:
         print(json.dumps(stats, sort_keys=True))
         return 0
     print(f"# store {args.store}")
+    print(f"backend: {stats['backend']}")
+    if "disk_bytes" in stats:
+        print(f"disk_bytes: {stats['disk_bytes']}")
     for key in (
         "left_rows", "right_rows", "matched_clusters",
         "largest_cluster", "comparisons", "merges",
@@ -588,6 +629,55 @@ def cmd_engine_query(args) -> int:
                 if value is not None
             )
             print(f"{name}[{tid}]: {rendered}")
+    return 0
+
+
+def cmd_engine_migrate(args) -> int:
+    """Convert a store file between the JSON snapshot and SQLite formats.
+
+    The direction is inferred from the source's format: a SQLite store
+    exports to a JSON snapshot, a JSON snapshot imports to a SQLite
+    store.  The destination must not already exist.
+    """
+    from repro.engine import (
+        is_sqlite_file,
+        snapshot_to_sqlite,
+        sqlite_to_snapshot,
+    )
+
+    source, destination = Path(args.source), Path(args.dest)
+    if not source.exists():
+        raise CliError(f"store not found: {source}")
+    if destination.exists():
+        raise CliError(
+            f"refusing to overwrite existing file: {destination}"
+        )
+    to_sqlite = not is_sqlite_file(source)
+    try:
+        if to_sqlite:
+            store = snapshot_to_sqlite(source, destination)
+            stats = store.stats()
+            store.close(commit=False)
+        else:
+            sqlite_to_snapshot(source, destination)
+            stats = _load_engine_store(destination).stats()
+    except (ValueError, KeyError, TypeError, sqlite3.Error) as error:
+        raise CliError(f"cannot migrate {source}: {error}") from None
+    direction = "snapshot -> sqlite" if to_sqlite else "sqlite -> snapshot"
+    if args.json:
+        print(json.dumps({
+            "source": str(source),
+            "dest": str(destination),
+            "direction": direction,
+            "stats": stats,
+        }, sort_keys=True))
+        return 0
+    print(f"# migrated {source} -> {destination} ({direction})")
+    print(
+        f"# {stats['left_rows']}+{stats['right_rows']} rows, "
+        f"{stats['matched_clusters']} matched cluster(s), "
+        f"{stats['merges']} merge(s) carried over"
+    )
     return 0
 
 
@@ -811,6 +901,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the cluster as JSON"
     )
     query.set_defaults(func=cmd_engine_query)
+
+    migrate = engine_sub.add_parser(
+        "migrate",
+        help="convert a store between JSON snapshot and SQLite formats",
+    )
+    migrate.add_argument(
+        "source", help="existing store file (snapshot or SQLite)"
+    )
+    migrate.add_argument(
+        "dest", help="destination store file (must not exist; the "
+        "opposite format of the source)",
+    )
+    migrate.add_argument(
+        "--json", action="store_true", help="print a migration report as JSON"
+    )
+    migrate.set_defaults(func=cmd_engine_migrate)
 
     trace = sub.add_parser(
         "trace", help="inspect trace files written with --trace (repro.obs)"

@@ -11,7 +11,11 @@ arrive*:
   that probes only the affected index buckets and chases MDs on the delta;
 * :mod:`~repro.engine.snapshot` — save/restore the store to disk so
   ingestion resumes exactly where it stopped;
-* ``repro engine ingest|stats|query`` — the CLI surface (:mod:`repro.cli`).
+* :mod:`~repro.engine.sqlite` — the durable backend: the same store
+  interface over one embedded SQLite database (WAL, one transaction per
+  ingest, O(1) warm restart);
+* ``repro engine ingest|stats|query|migrate`` — the CLI surface
+  (:mod:`repro.cli`).
 
 Typical use::
 
@@ -33,6 +37,13 @@ from .snapshot import (
     store_from_dict,
     store_to_dict,
 )
+from .sqlite import (
+    SQLITE_SCHEMA_VERSION,
+    SQLiteMatchStore,
+    is_sqlite_file,
+    snapshot_to_sqlite,
+    sqlite_to_snapshot,
+)
 from .store import MatchStore, Node, node_of
 
 __all__ = [
@@ -44,10 +55,15 @@ __all__ = [
     "Node",
     "RCKIndex",
     "SNAPSHOT_VERSION",
+    "SQLITE_SCHEMA_VERSION",
+    "SQLiteMatchStore",
     "indexes_from_rcks",
+    "is_sqlite_file",
     "load_store",
     "node_of",
     "save_store",
+    "snapshot_to_sqlite",
+    "sqlite_to_snapshot",
     "store_from_dict",
     "store_to_dict",
 ]

@@ -253,6 +253,8 @@ class IncrementalMatcher:
         # Store growth as gauges: index/cluster size over the stream.
         metrics.gauge("engine.left_rows", len(store.left))
         metrics.gauge("engine.right_rows", len(store.right))
+        # One ingest = one durable transaction (no-op for memory stores).
+        store.commit()
         return IngestResult(
             side,
             tid,
@@ -320,6 +322,7 @@ class IncrementalMatcher:
                 touched.append(left_node)
         for root in {store.find(node) for node in touched}:
             self._resolve_cluster(root)
+        store.commit()
         return BootstrapResult(
             left_rows=len(store.left),
             right_rows=len(store.right),

@@ -34,11 +34,16 @@ from .store import MatchStore
 SNAPSHOT_VERSION = 1
 
 
-def store_to_dict(store: MatchStore) -> Dict[str, object]:
-    """The store as a JSON-serializable dictionary."""
+def config_to_dict(store) -> Dict[str, object]:
+    """The store's *configuration* — everything needed to rebuild an
+    empty store probing identically: schema pair, target lists, RCK
+    operator triples, key length, encoded attributes.
+
+    Shared by the JSON snapshot format and the SQLite backend's ``meta``
+    table (:mod:`repro.engine.sqlite`), so the two persistence formats
+    stay mutually convertible.
+    """
     return {
-        "version": SNAPSHOT_VERSION,
-        "spec_fingerprint": store.spec_fingerprint,
         "schema": {
             "left": {
                 "name": store.pair.left.name,
@@ -59,36 +64,15 @@ def store_to_dict(store: MatchStore) -> Dict[str, object]:
         ],
         "key_length": store.key_length,
         "encode_attributes": list(store.encode_attributes),
-        "rows": {
-            "left": [
-                [row.tid, store.arrival_values(LEFT, row.tid), row.values()]
-                for row in store.left
-            ],
-            "right": [
-                [row.tid, store.arrival_values(RIGHT, row.tid), row.values()]
-                for row in store.right
-            ],
-        },
-        "clusters": [
-            [["L", tid] for tid in sorted(cluster.left_tids)]
-            + [["R", tid] for tid in sorted(cluster.right_tids)]
-            for cluster in store.clusters()
-        ],
-        "counters": {
-            "comparisons": store.comparisons,
-            "merges": store.merges,
-        },
     }
 
 
-def store_from_dict(data: Dict[str, object]) -> MatchStore:
-    """Rebuild a store from :func:`store_to_dict` output."""
-    version = data.get("version")
-    if version != SNAPSHOT_VERSION:
-        raise ValueError(
-            f"unsupported snapshot version {version!r}; "
-            f"this build reads version {SNAPSHOT_VERSION}"
-        )
+def config_from_dict(data: Dict[str, object]) -> Dict[str, object]:
+    """Rebuild core objects from a :func:`config_to_dict` document.
+
+    Returns keyword arguments (``target``, ``rcks``, ``key_length``,
+    ``encode_attributes``) accepted by both store constructors.
+    """
     schema = data["schema"]
     pair = SchemaPair(
         RelationSchema(schema["left"]["name"], schema["left"]["attributes"]),
@@ -99,12 +83,17 @@ def store_from_dict(data: Dict[str, object]) -> MatchStore:
         RelativeKey.from_triples(target, [tuple(triple) for triple in triples])
         for triples in data["rcks"]
     ]
-    store = MatchStore(
-        target,
-        rcks,
-        key_length=int(data["key_length"]),
-        encode_attributes=tuple(data["encode_attributes"]),
-    )
+    return {
+        "target": target,
+        "rcks": rcks,
+        "key_length": int(data["key_length"]),
+        "encode_attributes": tuple(data["encode_attributes"]),
+    }
+
+
+def populate_store(store, data: Dict[str, object]):
+    """Replay a snapshot document's rows, clusters and counters into an
+    empty store (either backend); returns the store."""
     for side_name, side in (("left", LEFT), ("right", RIGHT)):
         relation = store.relation(side)
         for tid, arrival, current in data["rows"][side_name]:
@@ -124,6 +113,47 @@ def store_from_dict(data: Dict[str, object]) -> MatchStore:
     # restore with None and get stamped on their next spec-driven use.
     store.spec_fingerprint = data.get("spec_fingerprint")
     return store
+
+
+def store_to_dict(store) -> Dict[str, object]:
+    """The store (either backend) as a JSON-serializable dictionary."""
+    document: Dict[str, object] = {
+        "version": SNAPSHOT_VERSION,
+        "spec_fingerprint": store.spec_fingerprint,
+    }
+    document.update(config_to_dict(store))
+    document["rows"] = {
+        "left": [
+            [row.tid, store.arrival_values(LEFT, row.tid), row.values()]
+            for row in store.left
+        ],
+        "right": [
+            [row.tid, store.arrival_values(RIGHT, row.tid), row.values()]
+            for row in store.right
+        ],
+    }
+    document["clusters"] = [
+        [["L", tid] for tid in sorted(cluster.left_tids)]
+        + [["R", tid] for tid in sorted(cluster.right_tids)]
+        for cluster in store.clusters()
+    ]
+    document["counters"] = {
+        "comparisons": store.comparisons,
+        "merges": store.merges,
+    }
+    return document
+
+
+def store_from_dict(data: Dict[str, object]) -> MatchStore:
+    """Rebuild an in-memory store from :func:`store_to_dict` output."""
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    store = MatchStore(**config_from_dict(data))
+    return populate_store(store, data)
 
 
 def save_store(store: MatchStore, path) -> None:

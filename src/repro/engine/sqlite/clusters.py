@@ -1,0 +1,97 @@
+"""Durable union-find over the ``clusters`` table.
+
+The in-memory store keeps parent pointers and member sets in
+dictionaries; here every node row stores its cluster *root* directly, so
+
+* ``find``   — one point lookup (registering unseen nodes as their own
+  root, like the in-memory ``find``);
+* ``union``  — two finds, two indexed size counts, and one ``UPDATE``
+  repointing the smaller cluster's rows to the larger's root (union by
+  size, same tie behavior as the in-memory store);
+* ``members`` / ``clusters`` — range scans on the ``clusters_root``
+  index.
+
+Roots are therefore always fully path-compressed on disk — a restart
+inherits flat pointers and never replays merge history.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: A node as stored: (side int, tid).
+DbNode = Tuple[int, int]
+
+
+class SQLiteUnionFind:
+    """Union-find with direct on-disk root pointers."""
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self.connection = connection
+
+    def find(self, node: DbNode) -> DbNode:
+        """Root of ``node``'s cluster, registering it when unseen."""
+        side, tid = node
+        row = self.connection.execute(
+            "SELECT root_side, root_tid FROM clusters "
+            "WHERE side = ? AND tid = ?",
+            (side, tid),
+        ).fetchone()
+        if row is not None:
+            return (row[0], row[1])
+        self.connection.execute(
+            "INSERT INTO clusters (side, tid, root_side, root_tid) "
+            "VALUES (?, ?, ?, ?)",
+            (side, tid, side, tid),
+        )
+        return node
+
+    def _size(self, root: DbNode) -> int:
+        return self.connection.execute(
+            "SELECT COUNT(*) FROM clusters WHERE root_side = ? AND root_tid = ?",
+            root,
+        ).fetchone()[0]
+
+    def union(self, a: DbNode, b: DbNode) -> bool:
+        """Merge two clusters; True when they were distinct."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size(root_a) < self._size(root_b):
+            root_a, root_b = root_b, root_a
+        self.connection.execute(
+            "UPDATE clusters SET root_side = ?, root_tid = ? "
+            "WHERE root_side = ? AND root_tid = ?",
+            (root_a[0], root_a[1], root_b[0], root_b[1]),
+        )
+        return True
+
+    def members(self, root: DbNode) -> Set[DbNode]:
+        """All nodes whose cluster root is ``root``."""
+        return {
+            (side, tid)
+            for side, tid in self.connection.execute(
+                "SELECT side, tid FROM clusters "
+                "WHERE root_side = ? AND root_tid = ?",
+                root,
+            )
+        }
+
+    def all_clusters(self) -> Iterable[Set[DbNode]]:
+        """Every cluster's member set (singletons included)."""
+        grouped: Dict[DbNode, Set[DbNode]] = {}
+        for side, tid, root_side, root_tid in self.connection.execute(
+            "SELECT side, tid, root_side, root_tid FROM clusters"
+        ):
+            grouped.setdefault((root_side, root_tid), set()).add((side, tid))
+        return grouped.values()
+
+    def roots(self) -> List[DbNode]:
+        """All distinct cluster roots."""
+        return [
+            (side, tid)
+            for side, tid in self.connection.execute(
+                "SELECT DISTINCT root_side, root_tid FROM clusters"
+            )
+        ]

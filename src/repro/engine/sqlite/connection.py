@@ -1,0 +1,65 @@
+"""SQLite connection setup for the durable match store.
+
+One function, :func:`connect`, owns every pragma decision so the store,
+the migration tool and the tests all open databases the same way:
+
+* **WAL journal mode** — readers (``repro engine stats|query``) never
+  block the single writer, and a crash mid-transaction rolls back to the
+  last committed ingest instead of corrupting the file.  Filesystems
+  that cannot support WAL (some network mounts) silently keep SQLite's
+  default journal; the store works either way, durability is just
+  coarser.
+* ``synchronous=NORMAL`` — the standard WAL pairing: fsync per
+  checkpoint, not per commit, which is what makes one commit per ingest
+  affordable.
+* Python-level transactions — the connection keeps the ``sqlite3``
+  default isolation (a transaction opens implicitly at the first write
+  and ends at ``commit()``/``rollback()``), so
+  :meth:`~repro.engine.sqlite.store.SQLiteMatchStore.commit` maps one
+  ingest onto exactly one SQLite transaction.
+
+Read-only opens go through a ``file:...?mode=ro`` URI so ``engine
+stats``/``query`` against a live store never take the write lock.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+#: The bytes every SQLite database file starts with.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def is_sqlite_file(path) -> bool:
+    """Whether ``path`` exists and carries the SQLite file magic.
+
+    The CLI uses this to route an existing ``--store`` file to the right
+    backend without trusting its extension.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            return handle.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except (OSError, IsADirectoryError):
+        return False
+
+
+def connect(path, readonly: bool = False) -> sqlite3.Connection:
+    """Open (or create) a store database with the canonical pragmas.
+
+    ``readonly=True`` opens via URI ``mode=ro`` — the file must exist —
+    and skips the write-side pragmas.
+    """
+    path = Path(path)
+    if readonly:
+        connection = sqlite3.connect(
+            f"file:{path}?mode=ro", uri=True, check_same_thread=False
+        )
+    else:
+        connection = sqlite3.connect(str(path), check_same_thread=False)
+        # Executed outside any transaction (nothing has written yet).
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+    connection.execute("PRAGMA foreign_keys=OFF")
+    return connection

@@ -1,0 +1,109 @@
+"""The durable store's relational schema.
+
+Five tables hold everything a :class:`~repro.engine.store.MatchStore`
+keeps in RAM, normalized so every ingest touches only the rows it
+changes (the FDB lesson: keep the derived structures — inverted index
+buckets, cluster membership — materialized *beside* the base records so
+incremental maintenance is row-at-a-time, and a restart reads nothing):
+
+``meta``
+    Key/value strings: schema version, the store configuration (the same
+    JSON document a snapshot carries: schema pair, target, RCK triples,
+    key length, encoded attributes) and the owning spec's fingerprint.
+``records``
+    One row per ingested record, keyed ``(side, tid)``, holding both the
+    *arrival* values (what indexes and consensus resolution work from)
+    and the *current* values (the per-cluster consensus repairs) as JSON
+    objects.
+``buckets``
+    The per-RCK inverted indexes: one row per (index, derived key, side,
+    tid) posting.  ``buckets_probe`` makes a streaming probe one range
+    scan; a batch candidates call is one self-join on (idx, key).
+``clusters``
+    Union-find with *direct root pointers*: every node stores its
+    cluster root, so ``find`` is one point lookup and ``union``
+    repoints the smaller cluster's rows (``clusters_root`` makes both
+    the size count and the repoint a range scan).
+``counters``
+    The store's cost ledger (``comparisons``, ``merges``), flushed once
+    per commit rather than once per increment.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: Version of the on-disk layout; bumped on any incompatible change.
+SQLITE_SCHEMA_VERSION = 1
+
+_TABLES = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS records (
+        side    INTEGER NOT NULL,
+        tid     INTEGER NOT NULL,
+        arrival TEXT NOT NULL,
+        current TEXT NOT NULL,
+        PRIMARY KEY (side, tid)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS buckets (
+        idx  INTEGER NOT NULL,
+        key  TEXT NOT NULL,
+        side INTEGER NOT NULL,
+        tid  INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS buckets_probe
+        ON buckets (idx, key, side)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS clusters (
+        side      INTEGER NOT NULL,
+        tid       INTEGER NOT NULL,
+        root_side INTEGER NOT NULL,
+        root_tid  INTEGER NOT NULL,
+        PRIMARY KEY (side, tid)
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS clusters_root
+        ON clusters (root_side, root_tid)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS counters (
+        name  TEXT PRIMARY KEY,
+        value INTEGER NOT NULL
+    )
+    """,
+)
+
+
+def initialize(connection: sqlite3.Connection) -> None:
+    """Create the store tables in a fresh database (idempotent)."""
+    for statement in _TABLES:
+        connection.execute(statement)
+
+
+def read_meta(connection: sqlite3.Connection, key: str):
+    """The ``meta`` value for ``key``, or ``None`` when absent."""
+    row = connection.execute(
+        "SELECT value FROM meta WHERE key = ?", (key,)
+    ).fetchone()
+    return None if row is None else row[0]
+
+
+def write_meta(connection: sqlite3.Connection, key: str, value) -> None:
+    """Upsert one ``meta`` row."""
+    connection.execute(
+        "INSERT INTO meta (key, value) VALUES (?, ?) "
+        "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+        (key, value),
+    )

@@ -58,6 +58,9 @@ class MatchStore:
     1
     """
 
+    #: Persistence backend identifier, reported by :meth:`stats`.
+    backend_name = "memory"
+
     def __init__(
         self,
         target: ComparableLists,
@@ -207,6 +210,21 @@ class MatchStore:
         return result
 
     # ------------------------------------------------------------------
+    # Durability hooks (no-ops in memory; the SQLite backend overrides)
+    # ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make the current state durable.  In-memory stores have no
+        durability, so this is a no-op — callers (the matcher commits
+        once per ingest) can invoke it unconditionally."""
+
+    def rollback(self) -> None:
+        """Discard uncommitted changes (no-op in memory)."""
+
+    def close(self, commit: bool = True) -> None:
+        """Release backing resources (no-op in memory)."""
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -214,6 +232,7 @@ class MatchStore:
         """Operational counters and sizes, JSON-serializable."""
         clusters = self.clusters()
         return {
+            "backend": self.backend_name,
             "left_rows": len(self.left),
             "right_rows": len(self.right),
             "matched_clusters": len(clusters),

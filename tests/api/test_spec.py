@@ -232,3 +232,58 @@ class TestBuilder:
         )
         assert isinstance(workspace, Workspace)
         assert workspace.deduce()
+
+
+class TestPersistenceSection:
+    def test_defaults_to_memory(self, document):
+        spec = ResolutionSpec.from_dict(document)
+        assert spec.persistence_backend == "memory"
+        assert spec.persistence_path is None
+
+    def test_round_trips(self, document):
+        document["persistence"] = {"backend": "sqlite", "path": "store.db"}
+        spec = ResolutionSpec.from_dict(document)
+        assert spec.persistence_backend == "sqlite"
+        assert spec.persistence_path == "store.db"
+        canonical = spec.to_dict()
+        assert canonical["persistence"] == {
+            "backend": "sqlite", "path": "store.db",
+        }
+        assert ResolutionSpec.from_dict(canonical) == spec
+
+    def test_unknown_backend_is_actionable(self, document):
+        document["persistence"] = {"backend": "postgres"}
+        with pytest.raises(SpecError) as excinfo:
+            ResolutionSpec.from_dict(document)
+        message = str(excinfo.value)
+        assert "persistence.backend" in message
+        assert "sqlite" in message
+
+    def test_unknown_key_rejected(self, document):
+        document["persistence"] = {"backend": "memory", "wal": True}
+        with pytest.raises(SpecError, match="unknown key"):
+            ResolutionSpec.from_dict(document)
+
+    def test_sqlite_requires_a_path(self, document):
+        document["persistence"] = {"backend": "sqlite"}
+        with pytest.raises(SpecError, match="persistence.path"):
+            ResolutionSpec.from_dict(document)
+
+    def test_never_enters_the_fingerprint(self, document):
+        """Where the state lives never changes what the state is, so a
+        store built under one backend must restore under the other."""
+        base = ResolutionSpec.from_dict(document).fingerprint()
+        document["persistence"] = {"backend": "sqlite", "path": "x.db"}
+        assert ResolutionSpec.from_dict(document).fingerprint() == base
+
+    def test_builder_sets_section(self, pair, target, sigma):
+        spec = (
+            SpecBuilder()
+            .pair(pair)
+            .target(target)
+            .mds(sigma)
+            .persistence("sqlite", "store.db")
+            .build()
+        )
+        assert spec.persistence_backend == "sqlite"
+        assert spec.persistence_path == "store.db"

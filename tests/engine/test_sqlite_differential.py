@@ -1,0 +1,168 @@
+"""The backend differential suite: SQLite ≡ in-memory, bit for bit.
+
+Runs the full spec-driven streaming stack against both persistence
+backends and asserts the *complete* observable state agrees — per-event
+match results, final clusters, arrival and consensus values, cost
+counters, index statistics — across every arrival scenario
+:mod:`repro.datagen.streams` generates, plus the acceptance scenario the
+durable backend exists for: killing the process mid-stream and resuming
+from the database equals a never-interrupted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Workspace
+from repro.datagen.generator import generate_dataset
+from repro.datagen.schemas import extended_mds
+from repro.datagen.streams import (
+    arrival_stream,
+    duplicate_burst_stream,
+    late_duplicate_stream,
+)
+from repro.engine import SQLiteMatchStore
+from repro.engine.snapshot import store_to_dict
+
+SCENARIOS = [duplicate_burst_stream, arrival_stream, late_duplicate_stream]
+SCENARIO_IDS = ["duplicate-burst", "arrival", "late-duplicate"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(150, seed=11)
+
+
+def _builder(dataset):
+    return (
+        Workspace.builder()
+        .pair(dataset.pair)
+        .target(dataset.target)
+        .mds(extended_mds(dataset.pair))
+        .execution(top_k=5)
+    )
+
+
+def _memory_workspace(dataset) -> Workspace:
+    return _builder(dataset).workspace()
+
+
+def _sqlite_workspace(dataset, path) -> Workspace:
+    return _builder(dataset).persistence("sqlite", str(path)).workspace()
+
+
+def _state(store):
+    """The store's full observable state as one comparable document."""
+    document = store_to_dict(store)
+    document.update(stats=store.stats())
+    # Backend identity and location legitimately differ.
+    for key in ("backend", "path", "disk_bytes"):
+        document["stats"].pop(key, None)
+    return document
+
+
+def _result_log(results):
+    return [
+        (r.side, r.tid, r.candidates, r.matches, r.merged,
+         r.cascade_truncated)
+        for r in results
+    ]
+
+
+def test_persistence_section_never_enters_fingerprint(dataset, tmp_path):
+    """Same rules, different store backend → one fingerprint (so a store
+    built under either spec resumes under the other)."""
+    memory = _memory_workspace(dataset)
+    durable = _sqlite_workspace(dataset, tmp_path / "s.db")
+    assert memory.fingerprint == durable.fingerprint
+
+
+@pytest.mark.parametrize("make_stream", SCENARIOS, ids=SCENARIO_IDS)
+def test_backends_agree_on_every_scenario(dataset, make_stream, tmp_path):
+    events = list(make_stream(dataset, seed=5).events)
+
+    memory = _memory_workspace(dataset).stream()
+    memory_results = memory.ingest_stream(events)
+
+    durable = _sqlite_workspace(dataset, tmp_path / "store.db").stream()
+    durable_results = durable.ingest_stream(events)
+
+    assert _result_log(durable_results) == _result_log(memory_results)
+    assert _state(durable.store) == _state(memory.store)
+    durable.store.close()
+
+
+@pytest.mark.parametrize("make_stream", SCENARIOS, ids=SCENARIO_IDS)
+def test_kill_and_resume_equals_uninterrupted(dataset, make_stream, tmp_path):
+    """Stop mid-stream, reopen the database cold, finish: same state."""
+    events = list(make_stream(dataset, seed=5).events)
+    cut = len(events) // 2
+    path = tmp_path / "resumable.db"
+
+    uninterrupted = _memory_workspace(dataset).stream()
+    uninterrupted.ingest_stream(events)
+
+    first = _sqlite_workspace(dataset, path).stream()
+    first_results = first.ingest_stream(events[:cut])
+    # Simulate the process dying: drop the connection, keep the file.
+    first.store.close()
+
+    # A brand-new workspace (fresh compile, fresh connection) resumes.
+    resumed = _sqlite_workspace(dataset, path).stream()
+    resumed_results = resumed.ingest_stream(events[cut:])
+
+    assert _state(resumed.store) == _state(uninterrupted.store)
+    combined = _result_log(first_results) + _result_log(resumed_results)
+    direct = _result_log(
+        _memory_workspace(dataset).stream().ingest_stream(events)
+    )
+    assert combined == direct
+    resumed.store.close()
+
+
+def test_uncommitted_tail_is_invisible_after_crash(dataset, tmp_path):
+    """A transaction in flight when the process dies never surfaces."""
+    path = tmp_path / "crash.db"
+    events = list(arrival_stream(dataset, seed=5).events)
+    matcher = _sqlite_workspace(dataset, path).stream()
+    matcher.ingest_stream(events[:10])
+    # A half-applied ingest the crash interrupts before commit:
+    matcher.store.add(events[10].side, dict(events[10].values))
+    matcher.store.comparisons += 999
+    matcher.store.connection.close()  # die without commit
+
+    reopened = SQLiteMatchStore(path)
+    assert len(reopened.left) + len(reopened.right) == 10
+    assert reopened.comparisons != 999
+    reopened.close(commit=False)
+
+
+def test_resume_under_changed_spec_is_rejected(dataset, tmp_path):
+    from repro.api import SpecError
+
+    path = tmp_path / "pinned.db"
+    matcher = _sqlite_workspace(dataset, path).stream()
+    matcher.ingest_stream(list(arrival_stream(dataset, seed=5).events)[:5])
+    matcher.store.close()
+
+    # Same RCK configuration (so the store itself opens fine), different
+    # matching semantics — the fingerprint is what catches it.
+    other = (
+        _builder(dataset)
+        .persistence("sqlite", str(path))
+        .resolution("lexicographic-min")
+        .workspace()
+    )
+    with pytest.raises(SpecError, match="built from spec"):
+        other.stream()
+
+    # A materially different rule configuration is rejected by the store
+    # itself (the RCKs it was created with are pinned in its meta table).
+    different_rules = (
+        _builder(dataset)
+        .persistence("sqlite", str(path))
+        .execution(top_k=3)
+        .workspace()
+    )
+    with pytest.raises(ValueError, match="different"):
+        different_rules.stream()

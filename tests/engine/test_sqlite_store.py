@@ -1,0 +1,232 @@
+"""Unit behavior of the durable SQLite-backed match store."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core.schema import LEFT, RIGHT
+from repro.datagen.schemas import credit_billing_pair, paper_mds, paper_target
+from repro.core.findrcks import find_rcks
+from repro.engine import MatchStore, SQLiteMatchStore
+from repro.engine.sqlite import SQLITE_MAGIC, is_sqlite_file
+
+
+@pytest.fixture(scope="module")
+def config():
+    pair = credit_billing_pair()
+    target = paper_target(pair)
+    rcks = find_rcks(paper_mds(pair), target, m=5)
+    return target, rcks
+
+
+ROW = {"c#": "111", "FN": "Mark", "LN": "Clifford", "tel": "212-5550234"}
+MATCHING_ROW = {
+    "c#": "111", "FN": "Marx", "LN": "Clifford", "phn": "212-5550234",
+}
+
+
+@pytest.fixture
+def store(config, tmp_path):
+    target, rcks = config
+    store = SQLiteMatchStore(tmp_path / "store.db", target, rcks)
+    yield store
+    store.close(commit=False)
+
+
+class TestCreateAndOpen:
+    def test_new_store_requires_configuration(self, tmp_path):
+        with pytest.raises(ValueError, match="requires"):
+            SQLiteMatchStore(tmp_path / "fresh.db")
+
+    def test_file_is_sqlite(self, store, config):
+        store.close()
+        assert is_sqlite_file(store.path)
+        assert store.path.read_bytes()[: len(SQLITE_MAGIC)] == SQLITE_MAGIC
+
+    def test_reopen_restores_configuration(self, store, config, tmp_path):
+        target, rcks = config
+        store.add(LEFT, ROW)
+        store.close()
+        reopened = SQLiteMatchStore(store.path)
+        assert reopened.target == target
+        assert reopened.rcks == list(rcks)
+        assert [index.name for index in reopened.indexes] == [
+            index.name for index in store.indexes
+        ]
+        assert len(reopened.left) == 1
+        reopened.close(commit=False)
+
+    def test_reopen_with_matching_configuration_accepted(self, store, config):
+        target, rcks = config
+        store.close()
+        reopened = SQLiteMatchStore(store.path, target, rcks)
+        assert reopened.target == target
+        reopened.close(commit=False)
+
+    def test_reopen_with_different_configuration_rejected(self, store, config):
+        target, rcks = config
+        store.close()
+        with pytest.raises(ValueError, match="different"):
+            SQLiteMatchStore(store.path, target, rcks, key_length=2)
+
+    def test_unsupported_schema_version_rejected(self, store):
+        store.connection.execute(
+            "UPDATE meta SET value = '99' WHERE key = 'schema_version'"
+        )
+        store.close()
+        with pytest.raises(ValueError, match="schema version"):
+            SQLiteMatchStore(store.path)
+
+    def test_warm_open_reads_no_records(self, store):
+        """Opening is O(1): no record rows are fetched until touched."""
+        for position in range(50):
+            store.add(LEFT, dict(ROW, FN=f"N{position}"))
+        store.close()
+        reopened = SQLiteMatchStore(store.path)
+        assert reopened.left._cache == {}
+        assert reopened.right._cache == {}
+        # First touch pages exactly the requested row in.
+        assert reopened.left[3]["FN"] == "N3"
+        assert set(reopened.left._cache) == {3}
+        reopened.close(commit=False)
+
+
+class TestRecords:
+    def test_add_and_read_back(self, store):
+        tid = store.add(LEFT, ROW)
+        row = store.left[tid]
+        assert row["FN"] == "Mark"
+        # Attributes not supplied complete to None, like Relation.insert.
+        assert row["SSN"] is None
+
+    def test_unknown_attribute_rejected(self, store):
+        with pytest.raises(KeyError, match="nope"):
+            store.add(LEFT, {"nope": "x"})
+
+    def test_duplicate_tid_rejected(self, store):
+        store.add(LEFT, ROW, tid=7)
+        with pytest.raises(ValueError, match="already present"):
+            store.add(LEFT, ROW, tid=7)
+
+    def test_set_value_keeps_arrival_immutable(self, store):
+        tid = store.add(LEFT, ROW)
+        store.left.set_value(tid, "FN", "Marcus")
+        assert store.left[tid]["FN"] == "Marcus"
+        assert store.arrival_values(LEFT, tid)["FN"] == "Mark"
+        store.commit()
+        reopened = SQLiteMatchStore(store.path)
+        assert reopened.left[tid]["FN"] == "Marcus"
+        assert reopened.arrival_values(LEFT, tid)["FN"] == "Mark"
+        reopened.close(commit=False)
+
+    def test_rows_iterate_in_insertion_order(self, store):
+        store.add(LEFT, ROW, tid=5)
+        store.add(LEFT, dict(ROW, FN="Second"), tid=2)
+        assert [row.tid for row in store.left] == [5, 2]
+        assert store.left.tids() == [5, 2]
+
+
+class TestMatchingInterface:
+    def test_neighbors_probe_other_side(self, store):
+        left_tid = store.add(LEFT, ROW)
+        right_tid = store.add(RIGHT, MATCHING_ROW)
+        assert store.neighbors(LEFT, store.arrival_row(LEFT, left_tid)) == [
+            right_tid
+        ]
+        assert store.neighbors(
+            RIGHT, store.arrival_row(RIGHT, right_tid)
+        ) == [left_tid]
+
+    def test_union_find_and_clusters(self, store):
+        left_tid = store.add(LEFT, ROW)
+        right_tid = store.add(RIGHT, MATCHING_ROW)
+        assert not store.same(("L", left_tid), ("R", right_tid))
+        assert store.union(("L", left_tid), ("R", right_tid))
+        assert not store.union(("L", left_tid), ("R", right_tid))
+        assert store.same(("L", left_tid), ("R", right_tid))
+        assert store.merges == 1
+        cluster = store.cluster_of(LEFT, left_tid)
+        assert cluster.left_tids == frozenset({left_tid})
+        assert cluster.right_tids == frozenset({right_tid})
+        assert store.clusters() == [cluster]
+
+    def test_singletons_only_reported_on_request(self, store):
+        store.add(LEFT, ROW)
+        assert store.clusters() == []
+        singles = store.clusters(include_singletons=True)
+        assert len(singles) == 1
+
+
+class TestDurability:
+    def test_commit_persists_rollback_discards(self, store):
+        store.add(LEFT, ROW, tid=0)
+        store.commit()
+        store.add(LEFT, dict(ROW, FN="Gone"), tid=1)
+        store.comparisons += 10
+        store.rollback()
+        assert 1 not in store.left
+        assert store.comparisons == 0
+        assert len(store.left) == 1
+        reopened = SQLiteMatchStore(store.path)
+        assert reopened.left.tids() == [0]
+        reopened.close(commit=False)
+
+    def test_counters_survive_reopen(self, store):
+        store.comparisons = 17
+        store.merges = 3
+        store.close()
+        reopened = SQLiteMatchStore(store.path)
+        assert reopened.comparisons == 17
+        assert reopened.merges == 3
+        reopened.close(commit=False)
+
+    def test_fingerprint_round_trips(self, store):
+        assert store.spec_fingerprint is None
+        store.spec_fingerprint = "abc123"
+        store.commit()
+        reopened = SQLiteMatchStore(store.path)
+        assert reopened.spec_fingerprint == "abc123"
+        reopened.close(commit=False)
+
+    def test_context_manager_commits(self, config, tmp_path):
+        target, rcks = config
+        with SQLiteMatchStore(tmp_path / "ctx.db", target, rcks) as store:
+            store.add(LEFT, ROW)
+        reopened = SQLiteMatchStore(tmp_path / "ctx.db")
+        assert len(reopened.left) == 1
+        reopened.close(commit=False)
+
+
+class TestStats:
+    def test_backend_and_disk_size_reported(self, store):
+        store.add(LEFT, ROW)
+        store.commit()
+        stats = store.stats()
+        assert stats["backend"] == "sqlite"
+        assert stats["path"] == str(store.path)
+        assert stats["disk_bytes"] > 0
+        assert stats["left_rows"] == 1
+
+    def test_memory_store_reports_backend(self, config):
+        target, rcks = config
+        stats = MatchStore(target, rcks).stats()
+        assert stats["backend"] == "memory"
+        assert "disk_bytes" not in stats
+
+    def test_index_stats_match_memory_backend(self, store, config):
+        target, rcks = config
+        memory = MatchStore(target, rcks)
+        for s in (store, memory):
+            s.add(LEFT, ROW)
+            s.add(RIGHT, MATCHING_ROW)
+        assert store.stats()["indexes"] == memory.stats()["indexes"]
+
+
+def test_garbage_file_is_not_sqlite(tmp_path):
+    path = tmp_path / "garbage.db"
+    path.write_text("not a database")
+    assert not is_sqlite_file(path)
+    with pytest.raises((ValueError, sqlite3.DatabaseError)):
+        SQLiteMatchStore(path)

@@ -556,3 +556,176 @@ class TestEngineSpecFingerprint:
         assert stats["right_rows"] == 4
         assert stats["matched_clusters"] == 1
         assert stats["spec_fingerprint"]
+
+
+# ----------------------------------------------------------------------
+# The durable SQLite backend: routing, migration, and error surfaces
+# ----------------------------------------------------------------------
+
+
+class TestEngineSQLite:
+    @pytest.fixture
+    def fig1_csvs(self, tmp_path):
+        _, credit, billing = figure1_instances()
+        left_path = tmp_path / "credit.csv"
+        right_path = tmp_path / "billing.csv"
+        save_relation(credit, left_path)
+        save_relation(billing, right_path)
+        return left_path, right_path
+
+    def _ingest(self, spec_file, fig1_csvs, store_path, extra=()):
+        left_path, right_path = fig1_csvs
+        return main(
+            ["engine", "ingest", "--spec", str(spec_file),
+             "--store", str(store_path), "--left", str(left_path),
+             "--right", str(right_path), *extra]
+        )
+
+    def test_db_suffix_creates_sqlite_store(self, spec_file, fig1_csvs,
+                                            tmp_path, capsys):
+        from repro.engine import is_sqlite_file
+
+        store_path = tmp_path / "store.db"
+        assert self._ingest(spec_file, fig1_csvs, store_path) == 0
+        assert is_sqlite_file(store_path)
+        capsys.readouterr()
+        assert main(["engine", "stats", "--store", str(store_path),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["backend"] == "sqlite"
+        assert stats["disk_bytes"] > 0
+        assert stats["left_rows"] == 2
+        assert stats["matched_clusters"] == 1
+
+    def test_spec_persistence_section_routes_to_sqlite(
+            self, spec_file, fig1_csvs, tmp_path, capsys):
+        from repro.engine import is_sqlite_file
+
+        document = json.loads(spec_file.read_text())
+        # An extension-less path: only the spec says it is durable.
+        store_path = tmp_path / "durable-store"
+        document["persistence"] = {"backend": "sqlite",
+                                   "path": str(store_path)}
+        spec_path = tmp_path / "durable.json"
+        spec_path.write_text(json.dumps(document))
+        assert self._ingest(spec_path, fig1_csvs, store_path) == 0
+        assert is_sqlite_file(store_path)
+
+    def test_sqlite_store_resumes_and_queries(self, spec_file, fig1_csvs,
+                                              tmp_path, capsys):
+        left_path, right_path = fig1_csvs
+        store_path = tmp_path / "store.db"
+        assert main(
+            ["engine", "ingest", "--spec", str(spec_file),
+             "--store", str(store_path), "--left", str(left_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["engine", "ingest", "--spec", str(spec_file),
+             "--store", str(store_path), "--right", str(right_path),
+             "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["left_rows"] == 2
+        assert stats["right_rows"] == 4
+        assert stats["matched_clusters"] == 1
+        assert main(
+            ["engine", "query", "--store", str(store_path),
+             "--side", "left", "--tid", "0"]
+        ) == 0
+        assert "cluster" in capsys.readouterr().out
+
+    def test_stats_prints_backend_line(self, spec_file, fig1_csvs,
+                                       tmp_path, capsys):
+        store_path = tmp_path / "store.db"
+        assert self._ingest(spec_file, fig1_csvs, store_path) == 0
+        capsys.readouterr()
+        assert main(["engine", "stats", "--store", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "backend: sqlite" in output
+        assert "disk_bytes:" in output
+
+    def test_json_store_stats_print_memory_backend(self, spec_file,
+                                                   fig1_csvs, tmp_path,
+                                                   capsys):
+        store_path = tmp_path / "store.json"
+        assert self._ingest(spec_file, fig1_csvs, store_path) == 0
+        capsys.readouterr()
+        assert main(["engine", "stats", "--store", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "backend: memory" in output
+        assert "disk_bytes:" not in output
+
+    def test_migrate_round_trip(self, spec_file, fig1_csvs, tmp_path,
+                                capsys):
+        json_path = tmp_path / "store.json"
+        assert self._ingest(spec_file, fig1_csvs, json_path) == 0
+        capsys.readouterr()
+        db_path = tmp_path / "store.db"
+        assert main(["engine", "migrate", str(json_path),
+                     str(db_path)]) == 0
+        assert "snapshot -> sqlite" in capsys.readouterr().out
+        back_path = tmp_path / "back.json"
+        assert main(["engine", "migrate", str(db_path), str(back_path),
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["direction"] == "sqlite -> snapshot"
+        original = json.loads(json_path.read_text())
+        roundtripped = json.loads(back_path.read_text())
+        assert roundtripped == original
+
+    def test_migrated_store_keeps_fingerprint(self, spec_file, fig1_csvs,
+                                              tmp_path, capsys):
+        """A migrated store resumes under the same spec it was built from."""
+        json_path = tmp_path / "store.json"
+        assert self._ingest(spec_file, fig1_csvs, json_path) == 0
+        db_path = tmp_path / "store.db"
+        assert main(["engine", "migrate", str(json_path),
+                     str(db_path)]) == 0
+        capsys.readouterr()
+        assert self._ingest(spec_file, fig1_csvs, db_path,
+                            extra=["--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["backend"] == "sqlite"
+        # Re-ingesting the same CSVs appends: the resume was accepted.
+        assert stats["left_rows"] == 4
+
+    def test_migrate_refuses_overwrite(self, spec_file, fig1_csvs,
+                                       tmp_path, capsys):
+        json_path = tmp_path / "store.json"
+        assert self._ingest(spec_file, fig1_csvs, json_path) == 0
+        existing = tmp_path / "exists.db"
+        existing.write_text("precious")
+        capsys.readouterr()
+        code = main(["engine", "migrate", str(json_path), str(existing)])
+        assert code == 2
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert existing.read_text() == "precious"
+
+    def test_migrate_missing_source_exits_two(self, tmp_path, capsys):
+        code = main(["engine", "migrate", str(tmp_path / "no.json"),
+                     str(tmp_path / "out.db")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_corrupt_store_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.db"
+        bad.write_text("this is not a database")
+        code = main(["engine", "stats", "--store", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot" in err
+
+    def test_sqlite_store_from_other_spec_exits_two(
+            self, spec_file, fig1_csvs, tmp_path, capsys):
+        store_path = tmp_path / "store.db"
+        assert self._ingest(spec_file, fig1_csvs, store_path) == 0
+        document = json.loads(spec_file.read_text())
+        document["resolution"] = {"policy": "lexicographic-min"}
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(document))
+        capsys.readouterr()
+        code = self._ingest(other, fig1_csvs, store_path)
+        assert code == 2
+        assert "built from spec" in capsys.readouterr().err
