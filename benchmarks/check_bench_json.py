@@ -76,6 +76,22 @@ SCHEMAS = {
         "wallclock_speedup": float,
         "critical_path_speedup": float,
     },
+    "sn_index": {
+        "K": int,
+        "candidates": int,
+        "blocks": int,
+        "shards": int,
+        "workers": int,
+        "heaviest_bin_pairs": int,
+        "matches": int,
+        "matches_identical": int,
+        "stream_candidates_identical": int,
+        "parallel_chases": int,
+        "serial_seconds": float,
+        "parallel_seconds": float,
+        "wallclock_speedup": float,
+        "critical_path_speedup": float,
+    },
     "plan_factorised": {
         "K": int,
         "entities": int,
@@ -211,6 +227,43 @@ def check_document(document: dict) -> list:
             problems.append(
                 f"{name}: only {document['shards']} shard(s) for "
                 f"{document['workers']} workers — partitioning regressed"
+            )
+        # The deterministic acceptance bound (wallclock_speedup is
+        # reported but never checked here: shared runners, 1-2 cores).
+        if document["critical_path_speedup"] < 1.5:
+            problems.append(
+                f"{name}: critical-path speedup "
+                f"{document['critical_path_speedup']:.2f} regressed below "
+                "the asserted 1.5x"
+            )
+        if document["matches"] <= 0:
+            problems.append(f"{name}: no matches decided")
+    elif name == "sn_index":
+        if document["matches_identical"] != 1:
+            problems.append(
+                f"{name}: sharded and serial SN chases decided different "
+                "matches"
+            )
+        if document["stream_candidates_identical"] != 1:
+            problems.append(
+                f"{name}: the streamed rank index diverged from the batch "
+                "candidate universe"
+            )
+        if document["parallel_chases"] < 1:
+            problems.append(
+                f"{name}: the pool never ran — the SN single-component "
+                "serial fallback is back"
+            )
+        if document["shards"] <= document["workers"]:
+            problems.append(
+                f"{name}: only {document['shards']} shard(s) for "
+                f"{document['workers']} workers — window runs no longer "
+                "split at block boundaries"
+            )
+        if document["blocks"] <= 1:
+            problems.append(
+                f"{name}: the rank encoding collapsed to {document['blocks']} "
+                "block(s)"
             )
         # The deterministic acceptance bound (wallclock_speedup is
         # reported but never checked here: shared runners, 1-2 cores).

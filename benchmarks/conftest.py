@@ -73,6 +73,12 @@ def factorised_size():
     return 4000 if FULL else 1000
 
 
+def sn_index_size():
+    if TINY:
+        return 300
+    return 4000 if FULL else 1500
+
+
 @pytest.fixture(scope="session")
 def bench_sizes():
     return matching_sizes()

@@ -449,7 +449,17 @@ class ResolutionSpec:
                     f"choose one of {list(BLOCKING_BACKENDS)}"
                 )
             window = blocking.get("window", 10)
-            _check_int(errors, "blocking.window", window, 0)
+            # A window of 0 or 1 is legal at the backend level but can
+            # never pair two records — a spec declaring one would
+            # silently resolve nothing, so validation refuses it.
+            if not isinstance(window, int) or isinstance(window, bool):
+                _check_int(errors, "blocking.window", window, 2)
+            elif window < 2:
+                errors.append(
+                    f"blocking.window: must be >= 2, got {window} — a "
+                    "sorted-neighborhood window needs at least 2 slots to "
+                    "ever pair two records"
+                )
             key_length = blocking.get("key_length", 1)
             _check_int(errors, "blocking.key_length", key_length, 1)
             raw_encode = blocking.get("encode", list(DEFAULT_ENCODED_ATTRIBUTES))

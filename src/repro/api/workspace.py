@@ -31,9 +31,8 @@ from repro.plan.blocking import (
     BlockingBackend,
     HashBlockingBackend,
     RCKIndex,
-    SortedNeighborhoodBackend,
-    leading_attribute_pairs,
 )
+from repro.plan.sn_index import WindowedSNIndex
 from repro.obs import (
     MetricsRegistry,
     NULL_TRACER,
@@ -226,25 +225,21 @@ class Workspace:
         if spec.key_pairs is not None:
             # An explicit derived key: one pass over the named attribute
             # pairs, Soundex-encoding the attributes the spec asks for.
-            index = RCKIndex("spec", spec.key_pairs, spec.encode)
             if spec.blocking_backend == "hash":
-                return HashBlockingBackend([index])
-            description = "+".join(left for left, _ in spec.key_pairs)
-            return SortedNeighborhoodBackend(
-                [(index.left_key, index.right_key)], spec.window, description
-            )
+                return HashBlockingBackend(
+                    [RCKIndex("spec", spec.key_pairs, spec.encode)]
+                )
+            return WindowedSNIndex(spec.key_pairs, spec.window, spec.encode)
         if not rcks:
             return None
         if spec.blocking_backend == "hash":
             return HashBlockingBackend.per_rck(
                 rcks, spec.key_length, spec.encode
             )
-        chosen = leading_attribute_pairs(rcks, attribute_count=3)
-        index = RCKIndex("spec-sn", chosen, spec.encode)
-        description = "+".join(f"{l}~{r}" for l, r in chosen)
-        return SortedNeighborhoodBackend(
-            [(index.left_key, index.right_key)], spec.window, description
-        )
+        # The rank-encoded, block-splitting SN index — the same class the
+        # streaming store maintains incrementally, so batch and stream
+        # share one set of window semantics.
+        return WindowedSNIndex.from_rcks(rcks, spec.window, spec.encode)
 
     # ------------------------------------------------------------------
     # Execution modes
@@ -383,6 +378,13 @@ class Workspace:
         it was not built with).  New and legacy (unfingerprinted) stores
         are stamped with this spec's fingerprint.
 
+        The stream always runs under the spec's declared
+        ``blocking.backend``: a store that cannot stream under it — or
+        one whose live blocking structures were built under different
+        semantics (e.g. a snapshot from the era when sorted-neighborhood
+        specs silently streamed under hash) — is rejected with
+        :class:`SpecError` rather than silently substituting semantics.
+
         With ``persistence.backend = "sqlite"`` in the spec and no
         explicit ``store``, the durable store at ``persistence.path`` is
         opened — created empty on first use, resumed (an O(1) warm
@@ -396,23 +398,43 @@ class Workspace:
             store = self.open_store()
             opened_here = True
         if store is not None:
+            errors = []
             stamp = getattr(store, "spec_fingerprint", None)
             if stamp is not None and stamp != self.fingerprint:
+                errors.append(
+                    f"store was built from spec {stamp}, but this "
+                    f"workspace's spec is {self.fingerprint}; "
+                    "re-bootstrap the store or load the matching spec"
+                )
+            supported = getattr(store, "supported_blocking", ("hash",))
+            family = getattr(store.blocking, "family", None)
+            if spec.blocking_backend not in supported:
+                errors.append(
+                    f"this store cannot stream under "
+                    f"blocking.backend {spec.blocking_backend!r} "
+                    f"(it supports: {', '.join(supported)}); "
+                    "use a store backend that supports it"
+                )
+            elif family != spec.blocking_backend:
+                errors.append(
+                    f"store streams under {family!r} blocking, but the "
+                    f"spec declares {spec.blocking_backend!r}; its "
+                    "candidate semantics would silently diverge from the "
+                    "batch run — re-bootstrap the store under this spec"
+                )
+            if errors:
                 if opened_here:
                     store.close(commit=False)
-                raise SpecError(
-                    [
-                        f"store was built from spec {stamp}, but this "
-                        f"workspace's spec is {self.fingerprint}; "
-                        "re-bootstrap the store or load the matching spec"
-                    ]
-                )
+                raise SpecError(errors)
         matcher = IncrementalMatcher(
             plan=self.plan,
             resolver=spec.resolver(),
             store=store,
             key_length=spec.key_length,
             encode_attributes=spec.encode,
+            blocking_backend=spec.blocking_backend,
+            window=spec.window,
+            key_pairs=spec.key_pairs,
             max_cascade=spec.max_cascade,
             factorised=spec.factorised,
             tracer=self.tracer,
@@ -442,15 +464,24 @@ class Workspace:
                     "in the spec"
                 ]
             )
-        return SQLiteMatchStore(
-            target,
-            self.plan.target,
-            self.plan.rcks,
-            key_length=spec.key_length,
-            encode_attributes=spec.encode,
-            tracer=self.tracer,
-            metrics=self.metrics,
-        )
+        try:
+            return SQLiteMatchStore(
+                target,
+                self.plan.target,
+                self.plan.rcks,
+                key_length=spec.key_length,
+                encode_attributes=spec.encode,
+                blocking_backend=spec.blocking_backend,
+                window=spec.window,
+                key_pairs=spec.key_pairs,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+        except ValueError as error:
+            # A configuration mismatch (including a store created under
+            # different blocking semantics) is a spec-level refusal, not
+            # a crash: surface it as the CLI's exit-2 error family.
+            raise SpecError([str(error)]) from error
 
     # ------------------------------------------------------------------
     # Introspection

@@ -117,6 +117,9 @@ class IncrementalMatcher:
         store: Optional[MatchStore] = None,
         key_length: int = 1,
         encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+        blocking_backend: str = "hash",
+        window: int = 10,
+        key_pairs=None,
         max_cascade: int = 256,
         plan: Optional[EnforcementPlan] = None,
         factorised: bool = True,
@@ -161,11 +164,22 @@ class IncrementalMatcher:
         self.factorised = factorised
         if store is None:
             store = MatchStore(
-                self.target, plan.rcks, key_length, encode_attributes
+                self.target,
+                plan.rcks,
+                key_length,
+                encode_attributes,
+                blocking_backend=blocking_backend,
+                window=window,
+                key_pairs=key_pairs,
             )
         elif store.target != self.target:
             raise ValueError("store was built for a different target")
         self.store = store
+        #: Whether the store streams under sorted-neighborhood semantics
+        #: (drives the engine.sn_* observability signals).
+        self._sn_blocking = (
+            getattr(store.blocking, "family", "hash") == "sorted-neighborhood"
+        )
         self._target_pairs = self.target.attribute_pairs()
         # Observability: default to the plan's tracer/registry (a
         # Workspace hands its own to the plan), or explicit overrides.
@@ -217,6 +231,8 @@ class IncrementalMatcher:
                 # Probe with arrival values: the buckets were keyed on them.
                 row = store.arrival_row(round_side, round_tid)
                 other_tids = store.neighbors(round_side, row)
+                if self._sn_blocking:
+                    self.metrics.count("engine.sn_probes")
                 if round_side == LEFT:
                     pairs: List[Pair] = [
                         (round_tid, other) for other in other_tids
@@ -253,6 +269,15 @@ class IncrementalMatcher:
         # Store growth as gauges: index/cluster size over the stream.
         metrics.gauge("engine.left_rows", len(store.left))
         metrics.gauge("engine.right_rows", len(store.right))
+        if self._sn_blocking:
+            # Live block-run count: how far the window chain is split.
+            metrics.gauge(
+                "engine.sn_blocks",
+                sum(
+                    entry["buckets"]
+                    for entry in store.blocking.index_stats().values()
+                ),
+            )
         # One ingest = one durable transaction (no-op for memory stores).
         store.commit()
         return IngestResult(

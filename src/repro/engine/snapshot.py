@@ -64,6 +64,15 @@ def config_to_dict(store) -> Dict[str, object]:
         ],
         "key_length": store.key_length,
         "encode_attributes": list(store.encode_attributes),
+        "blocking": {
+            "backend": store.blocking_backend,
+            "window": store.window,
+            "key_pairs": (
+                [list(pair) for pair in store.key_pairs]
+                if store.key_pairs
+                else None
+            ),
+        },
     }
 
 
@@ -71,7 +80,10 @@ def config_from_dict(data: Dict[str, object]) -> Dict[str, object]:
     """Rebuild core objects from a :func:`config_to_dict` document.
 
     Returns keyword arguments (``target``, ``rcks``, ``key_length``,
-    ``encode_attributes``) accepted by both store constructors.
+    ``encode_attributes``, and the blocking configuration) accepted by
+    both store constructors.  Documents written before the blocking
+    section existed restore as hash-blocked stores — exactly how those
+    stores were built.
     """
     schema = data["schema"]
     pair = SchemaPair(
@@ -83,11 +95,18 @@ def config_from_dict(data: Dict[str, object]) -> Dict[str, object]:
         RelativeKey.from_triples(target, [tuple(triple) for triple in triples])
         for triples in data["rcks"]
     ]
+    blocking = data.get("blocking") or {}
+    key_pairs = blocking.get("key_pairs")
     return {
         "target": target,
         "rcks": rcks,
         "key_length": int(data["key_length"]),
         "encode_attributes": tuple(data["encode_attributes"]),
+        "blocking_backend": blocking.get("backend", "hash"),
+        "window": int(blocking.get("window", 10)),
+        "key_pairs": (
+            [tuple(pair) for pair in key_pairs] if key_pairs else None
+        ),
     }
 
 

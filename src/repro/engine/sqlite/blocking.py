@@ -1,4 +1,4 @@
-"""Hash blocking over the ``buckets`` table: the durable inverted indexes.
+"""Durable blocking backends: hash postings and sorted-neighborhood ranks.
 
 :class:`SQLiteHashBlockingBackend` mirrors
 :class:`repro.plan.blocking.HashBlockingBackend` — same ``add`` /
@@ -10,16 +10,27 @@ build, used purely for its compiled key functions, so a record hashes to
 the same bucket in both backends by construction (the differential
 suite then proves the probes agree).
 
+:class:`SQLiteSNBlockingBackend` does the same for the rank-encoded
+multi-pass sorted-neighborhood index
+(:class:`~repro.plan.sn_index.WindowedSNIndex`): elements live in the
+``ranks`` table, one row per (pass, block, sort key, side, tid) — pass
+*i* keyed by the in-memory index's rotation *i* — and a probe retrieves
+the record's block run per pass and scans the rank window with the
+exact helper the in-memory index uses.
+
 Derived keys are tuples of strings; they are stored JSON-encoded so the
 ``(idx, key, side)`` index makes a probe one range scan and a batch
-candidates call one self-join.
+candidates call one self-join.  (JSON *text* ordering is not tuple
+ordering, so SN block runs are re-sorted on decoded tuples after
+retrieval — block runs are window-sized neighborhoods, never the full
+table.)
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.rck import RelativeKey
 from repro.core.schema import LEFT, RIGHT
@@ -29,6 +40,12 @@ from repro.plan.blocking import (
     Pair,
     RCKIndex,
     indexes_from_rcks,
+)
+from repro.plan.sn_index import (
+    Entry,
+    WindowedSNIndex,
+    run_pairs,
+    window_neighbors,
 )
 from repro.relations.relation import Row
 
@@ -42,6 +59,7 @@ class SQLiteHashBlockingBackend(BlockingBackend):
     """Multi-pass hash blocking with postings in the ``buckets`` table."""
 
     name = "sqlite-hash"
+    family = "hash"
 
     def __init__(
         self, connection: sqlite3.Connection, indexes: Sequence[RCKIndex]
@@ -131,3 +149,130 @@ class SQLiteHashBlockingBackend(BlockingBackend):
             for index in self.indexes
         )
         return f"sqlite-hash({len(self.indexes)} passes: {keys})"
+
+
+class SQLiteSNBlockingBackend(BlockingBackend):
+    """Sorted-neighborhood blocking with the rank runs in ``ranks``.
+
+    Wraps a :class:`~repro.plan.sn_index.WindowedSNIndex` purely for its
+    compiled key functions (its in-memory runs stay unused), so a record
+    ranks into the same block with the same sort key in both backends by
+    construction.
+    """
+
+    name = "sqlite-sorted-neighborhood"
+    family = "sorted-neighborhood"
+
+    def __init__(
+        self, connection: sqlite3.Connection, index: WindowedSNIndex
+    ) -> None:
+        self.connection = connection
+        #: The key-deriving index spec (its live runs unused).
+        self.index = index
+        self.pairs = index.pairs
+        self.window = index.window
+
+    @classmethod
+    def from_pairs(
+        cls,
+        connection: sqlite3.Connection,
+        pairs: Sequence[Tuple[str, str]],
+        window: int = 10,
+        encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+    ) -> "SQLiteSNBlockingBackend":
+        """One pass over explicit attribute pairs."""
+        return cls(connection, WindowedSNIndex(pairs, window, encode_attributes))
+
+    def _block_run(self, position: int, block: str) -> List[Entry]:
+        """One pass's block run as sorted (key, side, tid) entries."""
+        run = [
+            (tuple(json.loads(key)), side, tid)
+            for key, side, tid in self.connection.execute(
+                "SELECT key, side, tid FROM ranks "
+                "WHERE idx = ? AND block = ?",
+                (position, block),
+            )
+        ]
+        run.sort()
+        return run
+
+    # -- streaming -----------------------------------------------------
+
+    def add(self, side: int, row: Row) -> None:
+        """Rank one arriving record into its block run per pass."""
+        rows = []
+        for position in range(self.index.pass_count):
+            key = self.index.key_for(side, row, position)
+            rows.append(
+                (
+                    position,
+                    self.index.block_of(key),
+                    _encode_key(key),
+                    side,
+                    row.tid,
+                )
+            )
+        self.connection.executemany(
+            "INSERT INTO ranks (idx, block, key, side, tid) "
+            "VALUES (?, ?, ?, ?, ?)",
+            rows,
+        )
+
+    def probe(self, side: int, row: Row) -> List[int]:
+        """Other-side tids within the record's rank window in any pass."""
+        found = set()
+        for position in range(self.index.pass_count):
+            key = self.index.key_for(side, row, position)
+            entry = (key, side, row.tid)
+            run = self._block_run(position, self.index.block_of(key))
+            found.update(window_neighbors(run, entry, self.window))
+        return sorted(found)
+
+    # -- batch ---------------------------------------------------------
+
+    def candidates(self, left=None, right=None) -> List[Pair]:
+        """All block-confined window pairs over the stored rank runs.
+
+        The relations are accepted for interface compatibility but the
+        scan runs on the runs the store already maintains — by
+        construction they rank exactly the store's rows.
+        """
+        if self.window < 2:
+            return []
+        blocks: Dict[Tuple[int, str], List[Entry]] = {}
+        for position, block, key, side, tid in self.connection.execute(
+            "SELECT idx, block, key, side, tid FROM ranks"
+        ):
+            blocks.setdefault((position, block), []).append(
+                (tuple(json.loads(key)), side, tid)
+            )
+        pairs = set()
+        for run in blocks.values():
+            run.sort()
+            pairs.update(run_pairs(run, self.window))
+        return sorted(pairs)
+
+    # -- introspection -------------------------------------------------
+
+    def index_stats(self) -> dict:
+        """Per-pass block-run counts in the store's index-stats shape."""
+        stats = {}
+        for position, rotation in enumerate(self.index.passes):
+            blocks, largest = self.connection.execute(
+                "SELECT COUNT(*), COALESCE(MAX(n), 0) FROM ("
+                "  SELECT COUNT(*) AS n FROM ranks "
+                "  WHERE idx = ? GROUP BY block"
+                ")",
+                (position,),
+            ).fetchone()
+            name = "sn:" + "+".join(left for left, _ in rotation)
+            stats[name] = {"buckets": blocks, "largest_bucket": largest}
+        return stats
+
+    def describe(self) -> str:
+        detail = "+".join(f"{left}~{right}" for left, right in self.pairs)
+        return (
+            f"sorted-neighborhood(window={self.window}, rank-encoded in "
+            f"sqlite, {self.index.pass_count} rotated pass(es) on {detail}; "
+            "runs split at block boundaries)"
+        )

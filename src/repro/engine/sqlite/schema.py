@@ -19,6 +19,12 @@ incremental maintenance is row-at-a-time, and a restart reads nothing):
     The per-RCK inverted indexes: one row per (index, derived key, side,
     tid) posting.  ``buckets_probe`` makes a streaming probe one range
     scan; a batch candidates call is one self-join on (idx, key).
+``ranks``
+    The sorted-neighborhood rank encoding: one row per (pass, block,
+    sort key, side, tid) element.  ``ranks_window`` keeps a block run
+    retrievable in sorted order, so a window probe is one range scan
+    over the run (the table is only populated by stores created with
+    ``blocking.backend: "sorted-neighborhood"``).
 ``clusters``
     Union-find with *direct root pointers*: every node stores its
     cluster root, so ``find`` is one point lookup and ``union``
@@ -63,6 +69,19 @@ _TABLES = (
     """
     CREATE INDEX IF NOT EXISTS buckets_probe
         ON buckets (idx, key, side)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS ranks (
+        idx   INTEGER NOT NULL,
+        block TEXT NOT NULL,
+        key   TEXT NOT NULL,
+        side  INTEGER NOT NULL,
+        tid   INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS ranks_window
+        ON ranks (idx, block, key, side, tid)
     """,
     """
     CREATE TABLE IF NOT EXISTS clusters (

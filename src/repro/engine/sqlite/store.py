@@ -28,11 +28,14 @@ from repro.core.rck import RelativeKey
 from repro.core.schema import LEFT, RIGHT, ComparableLists
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.plan.blocking import DEFAULT_ENCODED_ATTRIBUTES
+from repro.plan.blocking import (
+    DEFAULT_ENCODED_ATTRIBUTES,
+    leading_attribute_pairs,
+)
 from repro.relations.relation import Row
 
 from ..store import Cluster, Node, _SIDE_TAGS, _as_cluster
-from .blocking import SQLiteHashBlockingBackend
+from .blocking import SQLiteHashBlockingBackend, SQLiteSNBlockingBackend
 from .clusters import DbNode, SQLiteUnionFind
 from .connection import connect
 from .records import SQLiteRelation
@@ -70,6 +73,10 @@ class SQLiteMatchStore:
 
     backend_name = "sqlite"
 
+    #: Blocking families this store class can stream under;
+    #: ``Workspace.stream`` refuses specs declaring anything else.
+    supported_blocking = ("hash", "sorted-neighborhood")
+
     def __init__(
         self,
         path,
@@ -77,6 +84,9 @@ class SQLiteMatchStore:
         rcks: Optional[Sequence[RelativeKey]] = None,
         key_length: int = 1,
         encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+        blocking_backend: str = "hash",
+        window: int = 10,
+        key_pairs=None,
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -86,17 +96,41 @@ class SQLiteMatchStore:
         existing = self.path.exists() and self.path.stat().st_size > 0
         self.connection = connect(self.path)
         if existing:
-            self._open_existing(target, rcks, key_length, encode_attributes)
+            self._open_existing(
+                target,
+                rcks,
+                key_length,
+                encode_attributes,
+                blocking_backend,
+                window,
+                key_pairs,
+            )
         else:
-            self._create_fresh(target, rcks, key_length, encode_attributes)
+            self._create_fresh(
+                target,
+                rcks,
+                key_length,
+                encode_attributes,
+                blocking_backend,
+                window,
+                key_pairs,
+            )
         self.left = SQLiteRelation(self.connection, self.pair.left, LEFT)
         self.right = SQLiteRelation(self.connection, self.pair.right, RIGHT)
-        self.blocking = SQLiteHashBlockingBackend.per_rck(
-            self.connection,
-            self.rcks,
-            key_length=self.key_length,
-            encode_attributes=self.encode_attributes,
-        )
+        if self.blocking_backend == "sorted-neighborhood":
+            self.blocking = SQLiteSNBlockingBackend.from_pairs(
+                self.connection,
+                self.key_pairs,
+                window=self.window,
+                encode_attributes=self.encode_attributes,
+            )
+        else:
+            self.blocking = SQLiteHashBlockingBackend.per_rck(
+                self.connection,
+                self.rcks,
+                key_length=self.key_length,
+                encode_attributes=self.encode_attributes,
+            )
         self._union_find = SQLiteUnionFind(self.connection)
         self._counters: Dict[str, int] = {
             name: int(read_meta_counter(self.connection, name))
@@ -109,11 +143,25 @@ class SQLiteMatchStore:
     # Open / create
     # ------------------------------------------------------------------
 
-    def _create_fresh(self, target, rcks, key_length, encode_attributes):
+    def _create_fresh(
+        self,
+        target,
+        rcks,
+        key_length,
+        encode_attributes,
+        blocking_backend,
+        window,
+        key_pairs,
+    ):
         if target is None or rcks is None:
             raise ValueError(
                 f"creating a new SQLite store at {self.path} requires "
                 "target and rcks"
+            )
+        if blocking_backend not in ("hash", "sorted-neighborhood"):
+            raise ValueError(
+                f"unsupported blocking backend {blocking_backend!r}; "
+                "stores stream under 'hash' or 'sorted-neighborhood'"
             )
         initialize(self.connection)
         self.target = target
@@ -121,6 +169,17 @@ class SQLiteMatchStore:
         self.rcks = list(rcks)
         self.key_length = key_length
         self.encode_attributes = tuple(encode_attributes)
+        self.blocking_backend = blocking_backend
+        self.window = int(window)
+        # Resolve the SN sort-key recipe at creation time so the stored
+        # configuration is self-contained (same default as the spec
+        # compiler: the RCKs' leading attribute pairs).
+        if key_pairs:
+            self.key_pairs = tuple(tuple(pair) for pair in key_pairs)
+        elif blocking_backend == "sorted-neighborhood":
+            self.key_pairs = tuple(leading_attribute_pairs(self.rcks, 3))
+        else:
+            self.key_pairs = None
         # Import here to avoid a cycle: snapshot imports the base store.
         from ..snapshot import config_to_dict
 
@@ -139,7 +198,16 @@ class SQLiteMatchStore:
             )
         self.connection.commit()
 
-    def _open_existing(self, target, rcks, key_length, encode_attributes):
+    def _open_existing(
+        self,
+        target,
+        rcks,
+        key_length,
+        encode_attributes,
+        blocking_backend,
+        window,
+        key_pairs,
+    ):
         version = read_meta(self.connection, "schema_version")
         if version != str(SQLITE_SCHEMA_VERSION):
             raise ValueError(
@@ -158,15 +226,40 @@ class SQLiteMatchStore:
         self.rcks = config["rcks"]
         self.key_length = config["key_length"]
         self.encode_attributes = config["encode_attributes"]
+        # Stores written before the blocking section existed were all
+        # hash-blocked; config_from_dict defaults accordingly.
+        self.blocking_backend = config["blocking_backend"]
+        self.window = config["window"]
+        stored_pairs = config["key_pairs"]
+        self.key_pairs = (
+            tuple(tuple(pair) for pair in stored_pairs)
+            if stored_pairs
+            else None
+        )
+        requested_pairs = (
+            tuple(tuple(pair) for pair in key_pairs) if key_pairs else None
+        )
         if target is not None and (
             target != self.target
             or (rcks is not None and list(rcks) != self.rcks)
             or key_length != self.key_length
             or tuple(encode_attributes) != self.encode_attributes
+            or blocking_backend != self.blocking_backend
+            or (
+                blocking_backend == "sorted-neighborhood"
+                and (
+                    int(window) != self.window
+                    or (
+                        requested_pairs is not None
+                        and requested_pairs != self.key_pairs
+                    )
+                )
+            )
         ):
             raise ValueError(
                 f"store {self.path} was created with a different "
-                "configuration (target/RCKs/key length) than requested"
+                "configuration (target/RCKs/key length/blocking) than "
+                "requested"
             )
 
     # ------------------------------------------------------------------
@@ -179,8 +272,12 @@ class SQLiteMatchStore:
 
     @property
     def indexes(self):
-        """The key-deriving index specs (shared with the in-memory backend)."""
-        return self.blocking.indexes
+        """The key-deriving index specs (shared with the in-memory backend).
+
+        Empty for sorted-neighborhood stores, whose single rank index is
+        not an :class:`~repro.plan.blocking.RCKIndex`.
+        """
+        return getattr(self.blocking, "indexes", [])
 
     def add(self, side: int, values: Dict[str, object], tid=None) -> int:
         """Insert an arriving record; index it; register its singleton."""

@@ -5,8 +5,13 @@ between arrivals:
 
 * the ingested records themselves, one :class:`~repro.relations.relation.Relation`
   per side of the schema pair;
-* one inverted index per deduced RCK (:mod:`repro.engine.indexes`),
-  updated on every :meth:`MatchStore.add`;
+* a blocking backend updated on every :meth:`MatchStore.add` — by default
+  one inverted index per deduced RCK
+  (:class:`~repro.plan.blocking.HashBlockingBackend`); a spec declaring
+  ``blocking.backend: "sorted-neighborhood"`` gets the rank-encoded
+  :class:`~repro.plan.sn_index.WindowedSNIndex` instead, so streams probe
+  under the same window semantics the batch run uses (they used to be
+  silently substituted with hash);
 * an incremental union-find over record identities — the entity clusters
   that pairwise match decisions are folded into as they are made (the
   streaming counterpart of :func:`repro.matching.clustering.cluster_matches`);
@@ -30,7 +35,9 @@ from repro.plan.blocking import (
     DEFAULT_ENCODED_ATTRIBUTES,
     HashBlockingBackend,
     RCKIndex,
+    leading_attribute_pairs,
 )
+from repro.plan.sn_index import WindowedSNIndex
 from repro.relations.relation import Relation, Row
 
 #: A clustered record identity: ("L" | "R", tuple id) — the same node
@@ -43,6 +50,40 @@ _SIDE_TAGS = {LEFT: "L", RIGHT: "R"}
 def node_of(side: int, tid: int) -> Node:
     """The cluster node of a record given its side and tuple id."""
     return (_SIDE_TAGS[side], tid)
+
+
+def build_blocking(
+    backend: str,
+    rcks: Sequence[RelativeKey],
+    key_length: int = 1,
+    encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+    window: int = 10,
+    key_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+):
+    """The store-side blocking backend for a declared family.
+
+    ``"hash"`` builds the per-RCK inverted indexes;
+    ``"sorted-neighborhood"`` builds the rank-encoded
+    :class:`~repro.plan.sn_index.WindowedSNIndex` over ``key_pairs`` —
+    or, when none are given, the RCKs' leading attribute pairs, the same
+    recipe the spec compiler uses, so a stream and the batch run of one
+    spec derive identical sort keys.
+    """
+    if backend == "hash":
+        return HashBlockingBackend.per_rck(rcks, key_length, encode_attributes)
+    if backend == "sorted-neighborhood":
+        pairs = (
+            [tuple(pair) for pair in key_pairs]
+            if key_pairs
+            else leading_attribute_pairs(rcks, 3)
+        )
+        return WindowedSNIndex(
+            pairs, window=window, encode_attributes=encode_attributes
+        )
+    raise ValueError(
+        f"unsupported blocking backend {backend!r}; "
+        "stores stream under 'hash' or 'sorted-neighborhood'"
+    )
 
 
 class MatchStore:
@@ -61,12 +102,19 @@ class MatchStore:
     #: Persistence backend identifier, reported by :meth:`stats`.
     backend_name = "memory"
 
+    #: Blocking families this store class can stream under;
+    #: ``Workspace.stream`` refuses specs declaring anything else.
+    supported_blocking = ("hash", "sorted-neighborhood")
+
     def __init__(
         self,
         target: ComparableLists,
         rcks: Sequence[RelativeKey],
         key_length: int = 1,
         encode_attributes: Iterable[str] = DEFAULT_ENCODED_ATTRIBUTES,
+        blocking_backend: str = "hash",
+        window: int = 10,
+        key_pairs: Optional[Sequence[Tuple[str, str]]] = None,
     ) -> None:
         if not rcks:
             raise ValueError("need at least one RCK to build indexes")
@@ -77,13 +125,25 @@ class MatchStore:
         self.encode_attributes: Tuple[str, ...] = tuple(encode_attributes)
         self.left = Relation(self.pair.left)
         self.right = Relation(self.pair.right)
-        #: The kernel's hash-blocking backend doubles as the store's index
+        #: The kernel's blocking backend doubles as the store's index
         #: set: batch bootstrap calls ``blocking.candidates`` and streaming
         #: ingest calls ``blocking.add``/``probe`` on the same structures.
-        self.blocking = HashBlockingBackend.per_rck(
-            self.rcks, key_length, self.encode_attributes
+        self.blocking = build_blocking(
+            blocking_backend,
+            self.rcks,
+            key_length=key_length,
+            encode_attributes=self.encode_attributes,
+            window=window,
+            key_pairs=key_pairs,
         )
-        self.indexes: List[RCKIndex] = self.blocking.indexes
+        self.blocking_backend = self.blocking.family
+        self.window = int(window)
+        self.key_pairs: Optional[Tuple[Tuple[str, str], ...]] = (
+            tuple(self.blocking.pairs)
+            if isinstance(self.blocking, WindowedSNIndex)
+            else (tuple(tuple(pair) for pair in key_pairs) if key_pairs else None)
+        )
+        self.indexes: List[RCKIndex] = getattr(self.blocking, "indexes", [])
         self._parent: Dict[Node, Node] = {}
         self._members: Dict[Node, Set[Node]] = {}
         self._arrival: Dict[Node, Dict[str, object]] = {}
@@ -239,19 +299,13 @@ class MatchStore:
             "largest_cluster": max((cluster.size for cluster in clusters), default=0),
             "comparisons": self.comparisons,
             "merges": self.merges,
-            "indexes": {
-                index.name: {
-                    "buckets": len(index),
-                    "largest_bucket": index.largest_bucket(),
-                }
-                for index in self.indexes
-            },
+            "indexes": self.blocking.index_stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MatchStore({len(self.left)}+{len(self.right)} rows, "
-            f"{len(self.indexes)} indexes, {self.merges} merges)"
+            f"{self.blocking.name} blocking, {self.merges} merges)"
         )
 
 

@@ -58,6 +58,7 @@ from .executor import chase, chase_factorised
 from .factorise import PairGroup, PairGroupIndex
 from .parallel import PARALLEL_MIN_PAIRS, parallel_chase, plan_spec_document
 from .shard import Shard, assign_shards, shard_pairs
+from .sn_index import WindowedSNIndex
 
 __all__ = [
     "PARALLEL_MIN_PAIRS",
@@ -77,6 +78,7 @@ __all__ = [
     "RCKIndex",
     "RowKey",
     "SortedNeighborhoodBackend",
+    "WindowedSNIndex",
     "assign_shards",
     "attribute_key",
     "chase",

@@ -18,12 +18,15 @@ generator as a pluggable component:
   indexes, serving batch candidate generation *and* the streaming
   engine's per-record ``add``/``probe``;
 * :class:`SortedNeighborhoodBackend` — multi-pass sorted-neighborhood
-  windowing over RCK sort keys.
+  windowing over RCK sort keys (batch-only; the streaming-capable,
+  block-splitting variant is :class:`~repro.plan.sn_index.WindowedSNIndex`).
 
 Batch and streaming thereby share one blocking implementation: probing an
 index with a new record yields exactly the pairs a batch
 ``candidates(left, right)`` call over the same keys would have generated
-for it.
+for it.  Every backend carries a ``family`` marker (``"hash"`` or
+``"sorted-neighborhood"``) so stores can be checked against the blocking
+semantics a spec declares.
 """
 
 from __future__ import annotations
@@ -295,6 +298,10 @@ class BlockingBackend:
 
     name: str = "none"
 
+    #: Candidate-generation semantics this backend implements; stores
+    #: compare it against the spec's declared ``blocking.backend``.
+    family: str = "none"
+
     def candidates(self, left: Relation, right: Relation) -> List[Pair]:
         """All candidate pairs for a batch instance pair."""
         raise NotImplementedError
@@ -319,6 +326,7 @@ class HashBlockingBackend(BlockingBackend):
     """
 
     name = "hash"
+    family = "hash"
 
     def __init__(self, indexes: Sequence[RCKIndex]) -> None:
         if not indexes:
@@ -364,6 +372,16 @@ class HashBlockingBackend(BlockingBackend):
             seen.update(index.probe(side, row))
         return sorted(seen)
 
+    def index_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-index bucket stats, keyed by index name."""
+        return {
+            index.name: {
+                "buckets": len(index),
+                "largest_bucket": index.largest_bucket(),
+            }
+            for index in self.indexes
+        }
+
     def describe(self) -> str:
         keys = ", ".join(
             "+".join(f"{left}~{right}" for left, right in index.pairs)
@@ -381,6 +399,7 @@ class SortedNeighborhoodBackend(BlockingBackend):
     """
 
     name = "sorted-neighborhood"
+    family = "sorted-neighborhood"
 
     def __init__(
         self,

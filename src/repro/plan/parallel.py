@@ -27,6 +27,12 @@ candidate pairs (pool start-up dominates on small inputs), a single
 connected component (nothing to parallelize), ``workers <= 1``, no spec
 document to rebuild the plan from, or a resolver that is not the spec's
 named policy (worker processes can only look policies up by name).
+Sorted-neighborhood specs used to hit the single-component fallback
+unconditionally — the legacy batch backend's overlapping windows
+chained every pair together; the rank-encoded
+:class:`~repro.plan.sn_index.WindowedSNIndex` splits its runs at block
+boundaries, so SN workloads now shard like hash workloads and that
+fallback fires only for genuinely chained (one-block) instances.
 Either path returns the same :class:`~repro.core.semantics.EnforcementResult`
 contents for a converged chase; the differential suite
 (``tests/plan/test_parallel_equivalence.py``) and the Hypothesis

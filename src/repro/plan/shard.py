@@ -16,6 +16,15 @@ packs them into per-worker bins balanced by pair count (longest
 processing time first), so :mod:`repro.plan.parallel` can chase each
 bin in its own process.  Both are deterministic: same pairs in, same
 shards and bins out.
+
+Every blocking backend feeds this partitioner the same way.  Hash
+candidates decompose per bucket; sorted-neighborhood candidates from
+the rank-encoded :class:`~repro.plan.sn_index.WindowedSNIndex` decompose
+per block run, because the index splits its runs at block boundaries
+and windows never span one.  (The legacy batch SN backend's overlapping
+windows chained everything into a single component, which is why SN
+specs historically always hit the ``single-component`` serial
+fallback.)
 """
 
 from __future__ import annotations

@@ -138,6 +138,36 @@ class TestValidation:
             ResolutionSpec.from_dict(document)
         assert "sorted-neighborhood" in str(excinfo.value)
 
+    @pytest.mark.parametrize("window", [0, 1, -5])
+    def test_window_below_two_is_actionable(self, document, window):
+        # A window of 0 or 1 can never pair two records; accepting it
+        # silently produced empty candidate sets.
+        document["blocking"] = {
+            "backend": "sorted-neighborhood",
+            "window": window,
+        }
+        errors = ResolutionSpec.validate_document(document)
+        assert any("blocking.window" in error for error in errors)
+        assert any("at least 2" in error for error in errors)
+        with pytest.raises(SpecError, match="blocking.window"):
+            ResolutionSpec.from_dict(document)
+
+    @pytest.mark.parametrize("window", ["ten", None, 2.5, True])
+    def test_non_int_window_rejected(self, document, window):
+        document["blocking"] = {
+            "backend": "sorted-neighborhood",
+            "window": window,
+        }
+        errors = ResolutionSpec.validate_document(document)
+        assert any("blocking.window" in error for error in errors)
+
+    def test_window_two_is_the_smallest_legal(self, document):
+        document["blocking"] = {
+            "backend": "sorted-neighborhood",
+            "window": 2,
+        }
+        assert ResolutionSpec.from_dict(document).window == 2
+
     def test_unknown_policy_and_mode(self, document):
         document["resolution"] = {"policy": "coin-flip"}
         document["execution"] = {"mode": "psychic"}

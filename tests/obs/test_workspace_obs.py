@@ -157,18 +157,38 @@ class TestSerialFallbackReasons:
         assert self._reason_on_trace(workspace) == reason
 
     def test_single_component(self, monkeypatch):
+        # A one-block SN instance: every row shares the keyed value, so
+        # overlapping windows genuinely chain all pairs into a single
+        # component.  (Ordinary SN workloads now shard — the rank index
+        # splits runs at block boundaries — so forcing this fallback
+        # takes a deliberately degenerate instance.)
         monkeypatch.setattr(parallel, "PARALLEL_MIN_PAIRS", 0)
-        dataset = generate_dataset(60, seed=3)
-        document = resolution_spec_document(
-            dataset.pair,
-            dataset.target,
-            extended_mds(dataset.pair),
-            blocking={"backend": "sorted-neighborhood", "window": 10},
-            execution={"mode": "enforce", "workers": 4},
-        )
-        document["observability"] = {"enabled": True}
+        from repro.relations.relation import Relation
+
+        document = {
+            "version": 1,
+            "schema": {
+                "left": {"name": "L", "attributes": ["A", "B"]},
+                "right": {"name": "R", "attributes": ["A", "B"]},
+            },
+            "target": {"left": ["B"], "right": ["B"]},
+            "rules": {"mds": ["L[A] = R[A] -> L[B] <=> R[B]"]},
+            "blocking": {
+                "backend": "sorted-neighborhood",
+                "window": 10,
+                "key_pairs": [["A", "A"]],
+                "encode": [],
+            },
+            "execution": {"mode": "enforce", "workers": 4},
+            "observability": {"enabled": True},
+        }
         workspace = Workspace.from_dict(document)
-        report = workspace.match(dataset.credit, dataset.billing)
+        left = Relation(workspace.plan.pair.left)
+        right = Relation(workspace.plan.pair.right)
+        for tid in range(30):
+            left.insert({"A": "shared", "B": f"value-{tid}"})
+            right.insert({"A": "shared", "B": None})
+        report = workspace.match(left, right)
         assert report.stats["serial_fallback_reason"] == "single-component"
         assert self._reason_on_trace(workspace) == "single-component"
 

@@ -10,11 +10,14 @@ instances agree cell by cell, and a shared-instance (self-matching)
 test covers the deduplication path.
 
 The specs use hash blocking with ``key_length=2`` so the candidate
-pairs split into many connected components (sorted-neighborhood windows
-chain everything into one component, which correctly falls back to the
-serial loop — also asserted here), and the parallel threshold is
-monkeypatched to 0 so even these test-sized inputs actually cross the
-process pool.
+pairs split into many connected components, and the parallel threshold
+is monkeypatched to 0 so even these test-sized inputs actually cross
+the process pool.  Sorted-neighborhood specs shard too — the
+rank-encoded index splits its runs at block boundaries, so SN
+workloads produce many components and the sharded run must equal the
+serial one (asserted here); the ``single-component`` serial fallback
+only fires when every candidate genuinely chains into one component,
+pinned by a hand-built one-block instance.
 """
 
 from __future__ import annotations
@@ -199,8 +202,16 @@ def test_self_matching_shared_instance_equivalent():
     assert result.instance.left is result.instance.right
 
 
-def test_sorted_neighborhood_single_component_falls_back_to_serial():
-    """SN windows chain tuples into one component: documented fallback."""
+def test_sorted_neighborhood_shards_and_matches_serial():
+    """Block-split SN runs shard across the pool — no serial fallback.
+
+    The legacy batch backend's overlapping windows chained every pair
+    into one component, so SN specs unconditionally fell back to the
+    serial loop.  The rank-encoded index splits runs at block
+    boundaries: an SN workload now decomposes into many components, the
+    parallel executor engages, and the sharded report is identical to
+    the serial one.
+    """
     dataset = generate_dataset(120, seed=3)
     document = resolution_spec_document(
         dataset.pair,
@@ -211,10 +222,59 @@ def test_sorted_neighborhood_single_component_falls_back_to_serial():
     )
     workspace = Workspace.from_dict(document)
     report = workspace.match(dataset.credit, dataset.billing)
-    assert workspace.plan.stats.parallel_chases == 0  # fell back
+    stats = workspace.plan.stats
+    assert stats.parallel_chases == 1
+    assert stats.shards > 1
+    assert stats.serial_fallback_reason is None
     serial = Workspace.from_dict(
         {**document, "execution": {"mode": "enforce", "workers": 1}}
     ).match(dataset.credit, dataset.billing)
+    assert report.matches == serial.matches
+    assert report.clusters == serial.clusters
+    assert report.fingerprint == serial.fingerprint
+
+
+def _one_block_sn_document(workers):
+    """An SN spec whose candidates genuinely chain into one component.
+
+    Every row carries the same value of the single keyed attribute, so
+    the whole instance is one block run and consecutive windows overlap
+    into a single connected component — the one case where the
+    ``single-component`` serial fallback is still correct.
+    """
+    attributes = ["A", "B"]
+    return {
+        "version": 1,
+        "schema": {
+            "left": {"name": "L", "attributes": attributes},
+            "right": {"name": "R", "attributes": attributes},
+        },
+        "target": {"left": ["B"], "right": ["B"]},
+        "rules": {"mds": ["L[A] = R[A] -> L[B] <=> R[B]"]},
+        "blocking": {
+            "backend": "sorted-neighborhood",
+            "window": 10,
+            "key_pairs": [["A", "A"]],
+            "encode": [],
+        },
+        "execution": {"mode": "enforce", "workers": workers},
+    }
+
+
+def test_truly_chained_sn_block_still_falls_back_to_serial():
+    """One block run, overlapping windows: the pinned serial fallback."""
+    workspace = Workspace.from_dict(_one_block_sn_document(workers=4))
+    left = Relation(workspace.plan.pair.left)
+    right = Relation(workspace.plan.pair.right)
+    for tid in range(30):
+        left.insert({"A": "shared", "B": f"value-{tid}"})
+        right.insert({"A": "shared", "B": None})
+    report = workspace.match(left, right)
+    stats = workspace.plan.stats
+    assert stats.parallel_chases == 0
+    assert stats.serial_fallback_reason == "single-component"
+    serial_workspace = Workspace.from_dict(_one_block_sn_document(workers=1))
+    serial = serial_workspace.match(left, right)
     assert report.matches == serial.matches
     assert report.fingerprint == serial.fingerprint
 

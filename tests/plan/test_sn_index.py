@@ -1,0 +1,225 @@
+"""Unit tests for the window-encoded sorted-neighborhood index.
+
+The rank-encoding invariants in isolation: incremental insertion equals
+batch construction, a probe is exactly the rank-range query, runs split
+at block boundaries (so candidates shard), multi-pass rotation recovers
+pairs that disagree on one leading attribute, and the degenerate
+window < 2 yields no candidates.  End-to-end stream/batch equivalence
+lives in ``test_sn_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schema import LEFT, RIGHT, RelationSchema
+from repro.plan.blocking import SortedNeighborhoodBackend
+from repro.plan.shard import shard_pairs
+from repro.plan.sn_index import WindowedSNIndex, run_pairs, window_neighbors
+from repro.relations.relation import Relation
+
+
+SCHEMA = RelationSchema("R", ["K", "V"])
+
+
+def _relation(values, attribute="K"):
+    relation = Relation(SCHEMA)
+    for value in values:
+        relation.insert({attribute: value, "V": None})
+    return relation
+
+
+def _index(window=3, pairs=(("K", "K"),)):
+    # encode_attributes=() keeps keys raw: tests control blocks exactly.
+    return WindowedSNIndex(pairs, window=window, encode_attributes=())
+
+
+class TestIncrementalEqualsBatch:
+    def test_scan_candidates_matches_batch(self):
+        left = _relation(["a1", "a2", "b1", "b2", "b3"])
+        right = _relation(["a1", "a9", "b2", "c1"])
+        index = _index(window=3)
+        for row in left:
+            index.add(LEFT, row)
+        for row in right:
+            index.add(RIGHT, row)
+        assert index.scan_candidates() == index.candidates(left, right)
+
+    def test_arrival_order_is_irrelevant(self):
+        left = _relation(["a", "b", "c", "d"])
+        right = _relation(["a", "b", "c", "d"])
+        forward = _index(window=2)
+        backward = _index(window=2)
+        rows = [(LEFT, row) for row in left] + [(RIGHT, row) for row in right]
+        for side, row in rows:
+            forward.add(side, row)
+        for side, row in reversed(rows):
+            backward.add(side, row)
+        assert forward.scan_candidates() == backward.scan_candidates()
+
+    def test_probe_of_ranked_row_is_the_window(self):
+        # One block, window 2: a probe sees only rank-adjacent entries.
+        left = _relation(["x1", "x3", "x5"])
+        right = _relation(["x2", "x4", "x6"])
+        index = _index(window=2, pairs=(("V", "V"), ("K", "K")))
+        # All rows share V=None, so block confinement keeps pass 0 in a
+        # single run ordered by (V, K); pass 1 splits per K value.
+        for row in left:
+            index.add(LEFT, row)
+        for row in right:
+            index.add(RIGHT, row)
+        # Pass 0's run order is x1 x2 x3 x4 x5 x6 (K tie-breaks); each
+        # probe sees its rank neighbors on the other side only.
+        assert index.probe(LEFT, left[0]) == [0]          # x1 -> x2
+        assert index.probe(LEFT, left[1]) == [0, 1]       # x3 -> x2, x4
+        assert index.probe(RIGHT, right[2]) == [2]        # x6 -> x5
+
+
+def _blocked(values):
+    """Rows with K as the block label and V as the in-block sort key."""
+    relation = Relation(SCHEMA)
+    for block, sub in values:
+        relation.insert({"K": block, "V": sub})
+    return relation
+
+
+#: A single-pass two-attribute sort key: blocks on K, orders by V within.
+BLOCKED_PAIRS = (("K", "K"), ("V", "V"))
+
+
+class TestBlockConfinement:
+    def test_no_pairs_across_blocks(self):
+        # Two blocks ('a', 'b') that a global window would bridge: the
+        # K=K pass confines; the V=V pass sees distinct V values only.
+        left = _blocked([("a", "1"), ("a", "2"), ("b", "3")])
+        right = _blocked([("a", "4"), ("b", "5"), ("b", "6")])
+        index = _index(window=10, pairs=BLOCKED_PAIRS)
+        pairs = index.candidates(left, right)
+        assert pairs
+        for left_tid, right_tid in pairs:
+            assert left[left_tid]["K"] == right[right_tid]["K"]
+
+    def test_blocks_become_shards(self):
+        # Disjoint blocks produce disjoint pair-graph components.
+        left = _blocked(
+            [(block, f"l{i}") for block in "abcd" for i in range(3)]
+        )
+        right = _blocked(
+            [(block, f"r{i}") for block in "abcd" for i in range(3)]
+        )
+        index = _index(window=10, pairs=BLOCKED_PAIRS)
+        pairs = index.candidates(left, right)
+        assert pairs
+        assert len(shard_pairs(pairs)) == 4
+
+    def test_legacy_backend_chains_what_the_index_splits(self):
+        # The contrast that motivates the index: same rows, same window,
+        # legacy global-window candidates form ONE component.
+        from repro.plan.blocking import attribute_key
+
+        left = _blocked([(block, f"l{i}") for block in "ab" for i in range(3)])
+        right = _blocked([(block, f"r{i}") for block in "ab" for i in range(3)])
+        sort_key = attribute_key(["K", "V"], [None, None])
+        legacy = SortedNeighborhoodBackend([(sort_key, sort_key)], window=10)
+        assert len(shard_pairs(legacy.candidates(left, right))) == 1
+        index = _index(window=10, pairs=BLOCKED_PAIRS)
+        assert len(shard_pairs(index.candidates(left, right))) == 2
+
+
+class TestMultiPassRotation:
+    def test_each_attribute_leads_one_pass(self):
+        index = WindowedSNIndex(
+            [("A", "A"), ("B", "B"), ("C", "C")], encode_attributes=()
+        )
+        assert index.pass_count == 3
+        assert [rotation[0] for rotation in index.passes] == [
+            ("A", "A"), ("B", "B"), ("C", "C")
+        ]
+
+    def test_disagreement_on_one_attribute_is_recovered(self):
+        # Rows disagree on K (different blocks in pass 0) but agree on V:
+        # pass 1 (led by V) still pairs them.
+        schema = RelationSchema("R", ["K", "V"])
+        left = Relation(schema)
+        right = Relation(schema)
+        left.insert({"K": "alpha", "V": "shared"})
+        right.insert({"K": "omega", "V": "shared"})
+        single = WindowedSNIndex([("K", "K")], encode_attributes=())
+        assert single.candidates(left, right) == []
+        multi = WindowedSNIndex(
+            [("K", "K"), ("V", "V")], encode_attributes=()
+        )
+        assert multi.candidates(left, right) == [(0, 0)]
+
+    def test_disagreement_on_every_attribute_stays_dropped(self):
+        schema = RelationSchema("R", ["K", "V"])
+        left = Relation(schema)
+        right = Relation(schema)
+        left.insert({"K": "alpha", "V": "one"})
+        right.insert({"K": "omega", "V": "two"})
+        multi = WindowedSNIndex(
+            [("K", "K"), ("V", "V")], encode_attributes=()
+        )
+        assert multi.candidates(left, right) == []
+
+
+class TestDegenerateWindows:
+    @pytest.mark.parametrize("window", [0, 1, -3])
+    def test_window_below_two_yields_nothing(self, window):
+        left = _relation(["a", "a", "a"])
+        right = _relation(["a", "a", "a"])
+        index = _index(window=window)
+        for row in left:
+            index.add(LEFT, row)
+        for row in right:
+            index.add(RIGHT, row)
+        assert index.candidates(left, right) == []
+        assert index.scan_candidates() == []
+        assert index.probe(LEFT, left[0]) == []
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError, match="at least one attribute pair"):
+            WindowedSNIndex([])
+
+
+class TestHelpers:
+    def test_window_neighbors_absent_entry_uses_insertion_point(self):
+        run = [(("b",), 0, 0), (("d",), 1, 1), (("f",), 1, 2)]
+        # An un-ranked probe key 'c' would insert at rank 1: 'd' is at
+        # distance 1, 'f' at distance 2 — window 2 sees only 'd'.
+        assert window_neighbors(run, (("c",), 0, 9), 2) == [1]
+        assert window_neighbors(run, (("c",), 0, 9), 3) == [1, 2]
+
+    def test_run_pairs_is_side_aware(self):
+        run = [(("a",), 0, 0), (("b",), 0, 1), (("c",), 1, 7)]
+        assert run_pairs(run, 10) == {(0, 7), (1, 7)}
+        assert run_pairs(run, 2) == {(1, 7)}
+
+    def test_index_stats_and_describe(self):
+        index = WindowedSNIndex(
+            [("K", "K"), ("V", "V")], window=4, encode_attributes=()
+        )
+        left = _relation(["a1", "b1"])
+        for row in left:
+            index.add(LEFT, row)
+        stats = index.index_stats()
+        assert set(stats) == {"sn:K+V", "sn:V+K"}
+        assert stats["sn:K+V"]["buckets"] == 2      # blocks a, b
+        assert stats["sn:V+K"]["buckets"] == 1      # all V=None
+        assert stats["sn:V+K"]["largest_bucket"] == 2
+        description = index.describe()
+        assert description.startswith("sorted-neighborhood(window=4")
+        assert "block boundaries" in description
+
+    def test_from_rcks_encodes_like_the_hash_backend(self):
+        # Soundex on the encode set: 'Clifford' and 'Clivord' share a
+        # block, so the typo'd name still ranks adjacently.
+        schema = RelationSchema("R", ["LN", "FN"])
+        left = Relation(schema)
+        right = Relation(schema)
+        left.insert({"LN": "Clifford", "FN": "Ann"})
+        right.insert({"LN": "Clivord", "FN": "Ann"})
+        index = WindowedSNIndex(
+            [("LN", "LN")], encode_attributes=("LN",)
+        )
+        assert index.candidates(left, right) == [(0, 0)]

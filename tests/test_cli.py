@@ -364,6 +364,76 @@ class TestEngine:
         assert "not found" in capsys.readouterr().err
 
 
+class TestEngineStreamGuard:
+    """A store that cannot stream the spec's blocking backend exits 2.
+
+    Sorted-neighborhood specs used to stream under hash semantics
+    silently; the stream now refuses any store whose live blocking
+    structures disagree with the declared ``blocking.backend``.
+    """
+
+    @pytest.fixture
+    def sn_spec_file(self, schema_file, md_file, tmp_path):
+        schema = json.loads(schema_file.read_text())
+        document = {
+            "version": 1,
+            "schema": {"left": schema["left"], "right": schema["right"]},
+            "target": schema["target"],
+            "rules": {
+                "mds": [
+                    line.strip()
+                    for line in md_file.read_text().splitlines()
+                    if line.strip() and not line.strip().startswith("#")
+                ],
+                "top_k": 5,
+            },
+            "blocking": {"backend": "sorted-neighborhood", "window": 10},
+            "execution": {"mode": "enforce"},
+        }
+        path = tmp_path / "sn-spec.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_legacy_hash_snapshot_under_sn_spec_exits_two(
+        self, sn_spec_file, tmp_path, capsys
+    ):
+        from repro.datagen.generator import figure1_instances as fig1
+
+        _, credit, billing = fig1()
+        left_path = tmp_path / "credit.csv"
+        right_path = tmp_path / "billing.csv"
+        save_relation(credit, left_path)
+        save_relation(billing, right_path)
+        store_path = tmp_path / "store.json"
+        assert main(
+            ["engine", "ingest", "--spec", str(sn_spec_file),
+             "--store", str(store_path), "--left", str(left_path)]
+        ) == 0
+        capsys.readouterr()
+
+        # Resuming the matching SN store streams fine.
+        assert main(
+            ["engine", "ingest", "--spec", str(sn_spec_file),
+             "--store", str(store_path), "--right", str(right_path)]
+        ) == 0
+        capsys.readouterr()
+
+        # A snapshot from the era before the blocking section existed
+        # restores as a hash-blocked store: same fingerprint, different
+        # streaming semantics — refused, not silently substituted.
+        snapshot = json.loads(store_path.read_text())
+        del snapshot["blocking"]
+        store_path.write_text(json.dumps(snapshot))
+        code = main(
+            ["engine", "ingest", "--spec", str(sn_spec_file),
+             "--store", str(store_path), "--right", str(right_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "streams under 'hash'" in err
+        assert "re-bootstrap" in err
+
+
 # ----------------------------------------------------------------------
 # The spec-driven surface (PR 3): --spec, spec validate, deprecations
 # ----------------------------------------------------------------------
