@@ -126,6 +126,19 @@ SCHEMAS = {
         "restart_speedup": float,
         "clusters_identical": int,
     },
+    "serve": {
+        "records": int,
+        "batches": int,
+        "ingest_seconds": float,
+        "ingest_rps": float,
+        "match_requests": int,
+        "match_p50_ms": float,
+        "match_p99_ms": float,
+        "chases_batched": int,
+        "chases_unbatched": int,
+        "chase_ratio": float,
+        "clusters_equal": int,
+    },
 }
 
 #: Keys every histogram summary in a ``metrics`` payload must carry
@@ -332,6 +345,32 @@ def check_document(document: dict) -> list:
                 f"{document['restart_speedup']:.1f} regressed below the "
                 "asserted 5x"
             )
+    elif name == "serve":
+        if document["records"] <= 0 or document["batches"] <= 0:
+            problems.append(f"{name}: empty run")
+        if document["clusters_equal"] != 1:
+            problems.append(
+                f"{name}: batched service and per-record ingest decided "
+                "different clusters"
+            )
+        if document["chases_batched"] >= document["chases_unbatched"]:
+            problems.append(
+                f"{name}: micro-batching no longer amortizes the chase "
+                f"({document['chases_batched']} >= "
+                f"{document['chases_unbatched']})"
+            )
+        # The service's acceptance bound: one pooled screening chase
+        # per micro-batch must at least halve chase invocations.
+        if document["chase_ratio"] < 2:
+            problems.append(
+                f"{name}: chase amortization "
+                f"{document['chase_ratio']:.2f} regressed below the "
+                "asserted 2x"
+            )
+        if document["match_requests"] <= 0:
+            problems.append(f"{name}: no match requests measured")
+        if document["match_p50_ms"] > document["match_p99_ms"]:
+            problems.append(f"{name}: match p50 exceeds p99")
     return problems
 
 

@@ -79,6 +79,12 @@ def sn_index_size():
     return 4000 if FULL else 1500
 
 
+def serve_size():
+    if TINY:
+        return 300
+    return 1200 if FULL else 600
+
+
 @pytest.fixture(scope="session")
 def bench_sizes():
     return matching_sizes()

@@ -1,0 +1,179 @@
+"""BENCH — the resolution service: micro-batched ingest over HTTP.
+
+Runs the real server (asyncio loop on its own thread, stdlib
+``http.client`` driving the wire protocol) over a serving-shaped
+workload: a warm partial customer base, then live billing traffic, most
+of it from unknown card holders.  Three claims are measured:
+
+* ingest throughput through the full HTTP + micro-batch + engine stack
+  (records/sec, reported only — no timing assertion on shared runners);
+* match latency quantiles straight from the server's own
+  ``serve.match.seconds`` histogram (p50/p99);
+* the amortization headline: one pooled screening chase per micro-batch
+  must cut enforcement-chase invocations by **at least 2x** against
+  one-at-a-time ingest of the same events — at *equal correctness*
+  (identical final clusters), which is the deterministic acceptance
+  bound checked here and in ``check_bench_json.py``.
+
+One JSON document is emitted (appended to ``REPRO_BENCH_JSON`` when
+set); the committed baseline lives at
+``benchmarks/baselines/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import Workspace
+from repro.core.schema import LEFT
+from repro.datagen.generator import generate_dataset
+from repro.datagen.schemas import extended_mds
+from repro.datagen.streams import arrival_stream
+from repro.serve import ResolutionServer, ServerThread
+
+from conftest import serve_size
+
+BATCH = 32
+MATCH_REQUESTS = 20
+
+
+def _emit(payload):
+    text = json.dumps(payload, sort_keys=True)
+    print()
+    print(text)
+    sink = os.environ.get("REPRO_BENCH_JSON")
+    if sink:
+        with Path(sink).open("a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _serving_workload(size):
+    """Warm base + live traffic: 20% of card holders are enrolled up
+    front, then every billing transaction arrives — most from unknown
+    holders, so their micro-batches screen cleanly in one pooled chase.
+    """
+    source = generate_dataset(
+        size, duplicate_fraction=0.15, namesake_fraction=0.35, seed=13
+    )
+    events = list(arrival_stream(source).events)
+    credit = [event for event in events if event.side == LEFT]
+    billing = [event for event in events if event.side != LEFT]
+    warm = [event for event in credit if (event.entity % 100) < 20]
+    return source, warm + billing
+
+
+def _spec(source):
+    return (
+        Workspace.builder()
+        .pair(source.pair)
+        .target(source.target)
+        .mds(extended_mds(source.pair))
+        .blocking("hash")
+        .execution(top_k=5)
+        .serve(port=0, max_batch=BATCH, max_delay_ms=20)
+        .build()
+    )
+
+
+def _request(connection, method, path, body=None):
+    payload = json.dumps(body) if body is not None else None
+    headers = {"Content-Type": "application/json"} if payload else {}
+    connection.request(method, path, body=payload, headers=headers)
+    response = connection.getresponse()
+    raw = response.read()
+    return response.status, json.loads(raw)
+
+
+def test_micro_batched_service_amortizes_the_chase():
+    source, stream = _serving_workload(serve_size())
+    spec = _spec(source)
+    thread = ServerThread(ResolutionServer(spec))
+    host, port = thread.start()
+    try:
+        connection = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            # Ingest through the wire in full micro-batches (the
+            # steady-traffic shape); wall time covers HTTP framing,
+            # queueing, and the pooled-chase engine work.
+            batches = 0
+            started = time.perf_counter()
+            for start in range(0, len(stream), BATCH):
+                status, body = _request(
+                    connection,
+                    "POST",
+                    "/ingest",
+                    {
+                        "records": [
+                            {
+                                "side": "left" if event.side == LEFT else "right",
+                                "values": dict(event.values),
+                                "tid": event.tid,
+                            }
+                            for event in stream[start : start + BATCH]
+                        ]
+                    },
+                )
+                assert status == 200, body
+                batches += 1
+            ingest_seconds = time.perf_counter() - started
+            # Snapshot the chase counter now: the match phase below
+            # drives the same compiled plan and would inflate it.
+            chases_batched = (
+                thread.server.tenant.workspace.plan.stats.enforcements
+            )
+
+            # Match latency, measured by the server itself: quantiles
+            # come from its per-endpoint histogram, not client clocks.
+            left_rows = [
+                dict(event.values) for event in stream if event.side == LEFT
+            ][:3]
+            right_rows = [
+                dict(event.values) for event in stream if event.side != LEFT
+            ][:3]
+            for _ in range(MATCH_REQUESTS):
+                status, body = _request(
+                    connection,
+                    "POST",
+                    "/match",
+                    {"left": left_rows, "right": right_rows},
+                )
+                assert status == 200, body
+            status, metrics = _request(connection, "GET", "/metrics")
+            assert status == 200
+            summary = metrics["server"]["histograms"]["serve.match.seconds"]
+            assert summary["count"] == MATCH_REQUESTS
+        finally:
+            connection.close()
+
+        server_clusters = thread.server.tenant.matcher.store.clusters()
+    finally:
+        thread.stop()
+
+    # The unbatched control: the same events, one chase per record.
+    offline = Workspace(spec)
+    offline_matcher = offline.stream()
+    offline_matcher.ingest_stream(stream)
+    chases_unbatched = offline.plan.stats.enforcements
+    chase_ratio = chases_unbatched / max(chases_batched, 1)
+    clusters_equal = int(server_clusters == offline_matcher.store.clusters())
+
+    _emit({
+        "benchmark": "serve",
+        "records": len(stream),
+        "batches": batches,
+        "ingest_seconds": ingest_seconds,
+        "ingest_rps": len(stream) / ingest_seconds,
+        "match_requests": MATCH_REQUESTS,
+        "match_p50_ms": summary["p50"] * 1000.0,
+        "match_p99_ms": summary["p99"] * 1000.0,
+        "chases_batched": chases_batched,
+        "chases_unbatched": chases_unbatched,
+        "chase_ratio": chase_ratio,
+        "clusters_equal": clusters_equal,
+    })
+    assert clusters_equal == 1
+    assert chase_ratio >= 2.0

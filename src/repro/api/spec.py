@@ -61,7 +61,7 @@ PERSISTENCE_BACKENDS = ("memory", "sqlite")
 _SECTIONS = (
     "version", "schema", "target", "rules", "metrics",
     "blocking", "resolution", "execution", "observability",
-    "persistence",
+    "persistence", "serve",
 )
 
 
@@ -242,6 +242,11 @@ class ResolutionSpec:
     trace_format: str = "chrome"
     persistence_backend: str = "memory"
     persistence_path: Optional[str] = None
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 8080
+    serve_max_batch: int = 16
+    serve_max_delay_ms: int = 10
+    serve_queue_limit: int = 1024
     _fingerprint: Optional[str] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -618,6 +623,41 @@ class ResolutionSpec:
                     "file path (e.g. \"store.db\")"
                 )
 
+        # -- serve ------------------------------------------------------
+        serve = document.get("serve", {})
+        serve_host = "127.0.0.1"
+        serve_port = 8080
+        serve_max_batch, serve_max_delay_ms = 16, 10
+        serve_queue_limit = 1024
+        if not isinstance(serve, dict):
+            errors.append(f"serve: expected an object, got {serve!r}")
+        else:
+            unknown_serve = set(serve) - {
+                "host", "port", "max_batch", "max_delay_ms", "queue_limit",
+            }
+            if unknown_serve:
+                errors.append(f"serve: unknown key(s) {sorted(unknown_serve)}")
+            serve_host = serve.get("host", "127.0.0.1")
+            if not isinstance(serve_host, str) or not serve_host:
+                errors.append(
+                    f"serve.host: expected a non-empty string, "
+                    f"got {serve_host!r}"
+                )
+                serve_host = "127.0.0.1"
+            # Port 0 is legal: bind an ephemeral port (tests do this).
+            serve_port = serve.get("port", 8080)
+            if _check_int(errors, "serve.port", serve_port, 0):
+                if serve_port > 65535:
+                    errors.append(
+                        f"serve.port: must be <= 65535, got {serve_port}"
+                    )
+            serve_max_batch = serve.get("max_batch", 16)
+            _check_int(errors, "serve.max_batch", serve_max_batch, 1)
+            serve_max_delay_ms = serve.get("max_delay_ms", 10)
+            _check_int(errors, "serve.max_delay_ms", serve_max_delay_ms, 0)
+            serve_queue_limit = serve.get("queue_limit", 1024)
+            _check_int(errors, "serve.queue_limit", serve_queue_limit, 1)
+
         metrics_section = document.get("metrics", {})
         metric_items: Tuple[Tuple[str, str], ...] = ()
         if isinstance(metrics_section, dict):
@@ -658,6 +698,11 @@ class ResolutionSpec:
             trace_format=trace_format,
             persistence_backend=persistence_backend,
             persistence_path=persistence_path,
+            serve_host=serve_host,
+            serve_port=serve_port,
+            serve_max_batch=serve_max_batch,
+            serve_max_delay_ms=serve_max_delay_ms,
+            serve_queue_limit=serve_queue_limit,
         )
         return spec, []
 
@@ -725,6 +770,13 @@ class ResolutionSpec:
                 "backend": self.persistence_backend,
                 "path": self.persistence_path,
             },
+            "serve": {
+                "host": self.serve_host,
+                "port": self.serve_port,
+                "max_batch": self.serve_max_batch,
+                "max_delay_ms": self.serve_max_delay_ms,
+                "queue_limit": self.serve_queue_limit,
+            },
         }
 
     def to_json(self, indent: int = 1) -> str:
@@ -759,7 +811,13 @@ class ResolutionSpec:
         never changes what is matched — the backend differential suite
         (``tests/engine/test_sqlite_differential.py``) pins that — so a
         store built under a memory spec resumes under a sqlite one and
-        vice versa.
+        vice versa.  The ``serve`` section is excluded for the same
+        reason: host/port and micro-batching knobs shape *how* a service
+        ingests (batch boundaries provably never change results — the
+        batch-boundary invariance suite pins that), never *what* it
+        resolves — so retuning a deployment keeps its tenants, and the
+        service can key tenants by fingerprint without a port change
+        splitting a tenant in two.
         """
         cached = self._fingerprint
         if cached is None:
@@ -770,6 +828,7 @@ class ResolutionSpec:
             document["execution"] = execution
             document.pop("observability")
             document.pop("persistence")
+            document.pop("serve")
             payload = json.dumps(
                 document, sort_keys=True, separators=(",", ":")
             )
@@ -971,6 +1030,31 @@ class SpecBuilder:
         matched.
         """
         self._document["persistence"] = {"backend": backend, "path": path}
+        return self
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_batch: int = 16,
+        max_delay_ms: int = 10,
+        queue_limit: int = 1024,
+    ) -> "SpecBuilder":
+        """Configure the resolution service (``repro serve``).
+
+        ``max_batch``/``max_delay_ms`` bound the ingest micro-batches
+        (one pooled chase per batch), ``queue_limit`` bounds the
+        per-tenant queue before backpressure (HTTP 429).  Like
+        :meth:`observability`, the section never enters the fingerprint
+        — deployment shape does not change what is matched.
+        """
+        self._document["serve"] = {
+            "host": host,
+            "port": port,
+            "max_batch": max_batch,
+            "max_delay_ms": max_delay_ms,
+            "queue_limit": queue_limit,
+        }
         return self
 
     def execution(self, **options) -> "SpecBuilder":

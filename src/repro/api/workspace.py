@@ -426,23 +426,35 @@ class Workspace:
                 if opened_here:
                     store.close(commit=False)
                 raise SpecError(errors)
-        matcher = IncrementalMatcher(
-            plan=self.plan,
-            resolver=spec.resolver(),
-            store=store,
-            key_length=spec.key_length,
-            encode_attributes=spec.encode,
-            blocking_backend=spec.blocking_backend,
-            window=spec.window,
-            key_pairs=spec.key_pairs,
-            max_cascade=spec.max_cascade,
-            factorised=spec.factorised,
-            tracer=self.tracer,
-            metrics=self.metrics,
-        )
-        if matcher.store.spec_fingerprint is None:
-            matcher.store.spec_fingerprint = self.fingerprint
-            matcher.store.commit()
+        # Any failure past this point must not leak a connection this
+        # call opened: matcher construction and the fingerprint stamp can
+        # both raise after the validation above passed (e.g. a store
+        # whose live blocking index rejects the plan's key layout, or a
+        # commit against a database that vanished).  The server's tenants
+        # lazily open durable stores through this exact path, so a leak
+        # here would hold a file handle for the life of the process.
+        try:
+            matcher = IncrementalMatcher(
+                plan=self.plan,
+                resolver=spec.resolver(),
+                store=store,
+                key_length=spec.key_length,
+                encode_attributes=spec.encode,
+                blocking_backend=spec.blocking_backend,
+                window=spec.window,
+                key_pairs=spec.key_pairs,
+                max_cascade=spec.max_cascade,
+                factorised=spec.factorised,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            if matcher.store.spec_fingerprint is None:
+                matcher.store.spec_fingerprint = self.fingerprint
+                matcher.store.commit()
+        except Exception:
+            if opened_here:
+                store.close(commit=False)
+            raise
         return matcher
 
     def open_store(self, path=None):

@@ -690,6 +690,23 @@ def _read_trace_file(path: str):
         raise CliError(str(error)) from None
 
 
+def cmd_serve(args) -> int:
+    """Run the asyncio resolution service until SIGINT/SIGTERM."""
+    from repro.serve import ResolutionServer, serve_forever
+
+    spec = _resolve_spec(args, mode="enforce")
+    server = ResolutionServer(
+        spec,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_limit=args.queue_limit,
+    )
+    serve_forever(server)
+    return 0
+
+
 def cmd_trace_summarize(args) -> int:
     document = _read_trace_file(args.file)
     problems = validate_trace(document)
@@ -917,6 +934,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print a migration report as JSON"
     )
     migrate.set_defaults(func=cmd_engine_migrate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP resolution service (repro.serve)",
+    )
+    _add_spec_options(serve)
+    serve.add_argument(
+        "--host", help="bind address (default: the spec's serve.host)"
+    )
+    serve.add_argument(
+        "--port", type=int,
+        help="bind port, 0 for ephemeral (default: the spec's serve.port)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int,
+        help="ingest micro-batch size cap (default: serve.max_batch)",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=int,
+        help="micro-batch linger in milliseconds (default: serve.max_delay_ms)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int,
+        help="per-tenant ingest queue bound before 429 backpressure "
+        "(default: serve.queue_limit)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser(
         "trace", help="inspect trace files written with --trace (repro.obs)"

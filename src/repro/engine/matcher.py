@@ -26,7 +26,16 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.md import MatchingDependency
 from repro.core.schema import LEFT, RIGHT, ComparableLists
@@ -54,6 +63,22 @@ _SIDES = {"L": LEFT, "R": RIGHT}
 def _side_tid(node: Node) -> Tuple[int, int]:
     tag, tid = node
     return _SIDES[tag], tid
+
+
+def _normalize_event(event) -> Tuple[int, Dict[str, object], Optional[int]]:
+    """A stream event as ``(side, values, tid)``.
+
+    Accepts ``(side, values)`` / ``(side, values, tid)`` tuples or objects
+    with ``side``, ``values`` and optionally ``tid`` attributes, such as
+    :class:`repro.datagen.streams.StreamEvent`.
+    """
+    if isinstance(event, tuple):
+        if len(event) == 2:
+            side, values = event
+            return side, dict(values), None
+        side, values, tid = event
+        return side, dict(values), tid
+    return event.side, dict(event.values), getattr(event, "tid", None)
 
 
 @dataclass(frozen=True)
@@ -92,6 +117,24 @@ class BootstrapResult:
     right_rows: int
     candidates: int
     matches: int
+
+
+@dataclass
+class _MergeOutcome:
+    """What one record's merge phase (the cascade loop) did to the store."""
+
+    pairs: List[Pair]
+    matches: List[Pair]
+    merged: bool
+    rounds: int
+    truncated: bool
+    #: ``(side, tid)`` records whose *current values* changed (consensus
+    #: repairs) — the dynamic dirt frontier
+    #: :meth:`IncrementalMatcher.ingest_batch` uses to decide which later
+    #: batch records may skip their chase.  Merges that repair nothing
+    #: are deliberately not dirt: a chase reads values, never cluster
+    #: membership, so they cannot change a later record's verdict.
+    touched: Set[Tuple[int, int]]
 
 
 class IncrementalMatcher:
@@ -218,55 +261,112 @@ class IncrementalMatcher:
         started = time.perf_counter()
         with self.tracer.span("ingest", side=side) as span:
             tid = store.add(side, values, tid=tid)
-            all_pairs: List[Pair] = []
-            all_matches: List[Pair] = []
-            merged = False
-            queue: List[Tuple[int, int]] = [(side, tid)]
-            queued = {(side, tid)}
-            rounds = 0
-            while queue and rounds < self.max_cascade:
-                rounds += 1
-                round_side, round_tid = queue.pop(0)
-                queued.discard((round_side, round_tid))
+            outcome = self._merge_phase(side, tid)
+            span.set("tid", tid)
+            span.set("candidates", len(outcome.pairs))
+            span.set("matches", len(outcome.matches))
+            span.set("cascade", outcome.rounds)
+        metrics = self.metrics
+        metrics.observe("engine.ingest_seconds", time.perf_counter() - started)
+        metrics.count("engine.ingests")
+        if outcome.merged:
+            metrics.count("engine.merges")
+        self._gauge_store()
+        # One ingest = one durable transaction (no-op for memory stores).
+        store.commit()
+        return IngestResult(
+            side,
+            tid,
+            tuple(outcome.pairs),
+            tuple(outcome.matches),
+            outcome.merged,
+            cascade_truncated=outcome.truncated,
+        )
+
+    def _merge_phase(
+        self,
+        side: int,
+        tid: int,
+        first_pairs: Optional[Sequence[Pair]] = None,
+        exclude: FrozenSet[Tuple[int, int]] = frozenset(),
+    ) -> _MergeOutcome:
+        """One record's cascade loop: probe, chase, merge, repair, repeat.
+
+        ``first_pairs`` supplies the record's round-1 candidate pairs when
+        the caller already probed (and charged) them —
+        :meth:`ingest_batch` computes them at add time so they reflect the
+        store as of the record's arrival.  ``exclude`` removes not-yet
+        ingested batch records from cascade re-probes, keeping every
+        neighborhood identical to what a record-at-a-time ingest would
+        have seen (exact for hash blocking, whose buckets are unordered
+        sets; sorted-neighborhood never takes this path).
+        """
+        store = self.store
+        all_pairs: List[Pair] = []
+        all_matches: List[Pair] = []
+        merged = False
+        affected: Set[Tuple[int, int]] = set()
+        queue: List[Tuple[int, int]] = [(side, tid)]
+        queued = {(side, tid)}
+        rounds = 0
+        while queue and rounds < self.max_cascade:
+            rounds += 1
+            round_side, round_tid = queue.pop(0)
+            queued.discard((round_side, round_tid))
+            if first_pairs is not None:
+                # Already probed and charged by the caller, at the store
+                # state of the record's arrival.
+                pairs: List[Pair] = list(first_pairs)
+                first_pairs = None
+            else:
                 # Probe with arrival values: the buckets were keyed on them.
                 row = store.arrival_row(round_side, round_tid)
                 other_tids = store.neighbors(round_side, row)
                 if self._sn_blocking:
                     self.metrics.count("engine.sn_probes")
-                if round_side == LEFT:
-                    pairs: List[Pair] = [
-                        (round_tid, other) for other in other_tids
+                other_side = RIGHT if round_side == LEFT else LEFT
+                if exclude:
+                    other_tids = [
+                        other
+                        for other in other_tids
+                        if (other_side, other) not in exclude
                     ]
+                if round_side == LEFT:
+                    pairs = [(round_tid, other) for other in other_tids]
                 else:
                     pairs = [(other, round_tid) for other in other_tids]
                 store.comparisons += len(pairs)
-                if not pairs:
-                    continue
-                all_pairs.extend(pairs)
-                touched: List[Node] = []
-                for match in self._match_pairs(pairs):
-                    if match not in all_matches:
-                        all_matches.append(match)
-                    left_tid, right_tid = match
-                    left_node = node_of(LEFT, left_tid)
-                    if store.union(left_node, node_of(RIGHT, right_tid)):
-                        merged = True
-                        touched.append(left_node)
-                for root in {store.find(node) for node in touched}:
-                    for changed_record in self._resolve_cluster(root):
-                        if changed_record not in queued:
-                            queue.append(changed_record)
-                            queued.add(changed_record)
-            span.set("tid", tid)
-            span.set("candidates", len(all_pairs))
-            span.set("matches", len(all_matches))
-            span.set("cascade", rounds)
+            if not pairs:
+                continue
+            all_pairs.extend(pairs)
+            touched: List[Node] = []
+            for match in self._match_pairs(pairs):
+                if match not in all_matches:
+                    all_matches.append(match)
+                left_tid, right_tid = match
+                left_node = node_of(LEFT, left_tid)
+                if store.union(left_node, node_of(RIGHT, right_tid)):
+                    merged = True
+                    touched.append(left_node)
+            for root in {store.find(node) for node in touched}:
+                for changed_record in self._resolve_cluster(root):
+                    affected.add(changed_record)
+                    if changed_record not in queued:
+                        queue.append(changed_record)
+                        queued.add(changed_record)
+        return _MergeOutcome(
+            pairs=all_pairs,
+            matches=all_matches,
+            merged=merged,
+            rounds=rounds,
+            truncated=bool(queue),
+            touched=affected,
+        )
+
+    def _gauge_store(self) -> None:
+        """Store growth as gauges: index/cluster size over the stream."""
+        store = self.store
         metrics = self.metrics
-        metrics.observe("engine.ingest_seconds", time.perf_counter() - started)
-        metrics.count("engine.ingests")
-        if merged:
-            metrics.count("engine.merges")
-        # Store growth as gauges: index/cluster size over the stream.
         metrics.gauge("engine.left_rows", len(store.left))
         metrics.gauge("engine.right_rows", len(store.right))
         if self._sn_blocking:
@@ -278,16 +378,6 @@ class IncrementalMatcher:
                     for entry in store.blocking.index_stats().values()
                 ),
             )
-        # One ingest = one durable transaction (no-op for memory stores).
-        store.commit()
-        return IngestResult(
-            side,
-            tid,
-            tuple(all_pairs),
-            tuple(all_matches),
-            merged,
-            cascade_truncated=bool(queue),
-        )
 
     def ingest_stream(self, events: Iterable) -> List[IngestResult]:
         """Ingest a sequence of events in arrival order.
@@ -298,13 +388,136 @@ class IncrementalMatcher:
         """
         results: List[IngestResult] = []
         for event in events:
-            if isinstance(event, tuple):
-                side, values = event
-                tid = None
-            else:
-                side, values = event.side, dict(event.values)
-                tid = getattr(event, "tid", None)
+            side, values, tid = _normalize_event(event)
             results.append(self.ingest(side, values, tid=tid))
+        return results
+
+    def ingest_batch(self, events: Iterable) -> List[IngestResult]:
+        """Ingest a micro-batch of events with one pooled screening chase.
+
+        Semantically this is exactly :meth:`ingest` applied to the events
+        in order — same final store state, same per-event results, same
+        ``comparisons``/``merges`` counters, pinned by the batch-boundary
+        invariance property test (``tests/serve/test_batch_invariance.py``)
+        and the service differential suite — but the work is amortized:
+
+        1. every record is added and its arrival neighborhood probed (and
+           charged) as it would have been record-at-a-time;
+        2. **one** pooled chase screens the union of all delta pairs;
+        3. only records with skin in the game — one of their *own* pairs
+           matched in the screen, or one of their involved records had
+           its values moved by a chase repair (before or during the
+           batch) — replay the exact per-record merge phase.
+
+        A record with no own-pair match and no moved neighbor is sound
+        to skip without its own chase: with every involved value
+        unchanged, the chase is purely monotone cell identification, so
+        the pooled screen's verdict over the superset of pairs subsumes
+        what the record's own delta chase could have found — and with no
+        match among its own pairs there is no merge to apply.
+
+        Sorted-neighborhood stores fall back to plain sequential ingest
+        (ranks shift with every insertion, so a batch added up front
+        cannot reproduce record-at-a-time windows); they still amortize
+        the durable commit.  One ``commit()`` covers the whole batch, so
+        a crash re-presents the batch as a unit instead of splitting it.
+        """
+        normalized = [_normalize_event(event) for event in events]
+        if not normalized:
+            return []
+        store = self.store
+        metrics = self.metrics
+        started = time.perf_counter()
+        if self._sn_blocking or len(normalized) == 1:
+            results = []
+            for side, values, tid in normalized:
+                results.append(self.ingest(side, values, tid=tid))
+            metrics.count("engine.batches")
+            metrics.observe("engine.batch_size", len(results))
+            metrics.observe(
+                "engine.batch_seconds", time.perf_counter() - started
+            )
+            return results
+        with self.tracer.span("ingest_batch", size=len(normalized)) as span:
+            # Phase 1: add every record and capture its arrival-time
+            # neighborhood — the store grows between probes exactly as it
+            # would record-at-a-time, so each pair set (and its
+            # comparisons charge) is what sequential ingest computes.
+            pending: List[Tuple[int, int, List[Pair]]] = []
+            for side, values, tid in normalized:
+                tid = store.add(side, values, tid=tid)
+                row = store.arrival_row(side, tid)
+                other_tids = store.neighbors(side, row)
+                if side == LEFT:
+                    pairs: List[Pair] = [(tid, other) for other in other_tids]
+                else:
+                    pairs = [(other, tid) for other in other_tids]
+                store.comparisons += len(pairs)
+                pending.append((side, tid, pairs))
+            # Phase 2: one pooled chase over the whole batch delta.
+            union: List[Pair] = []
+            seen: Set[Pair] = set()
+            for _, _, pairs in pending:
+                for pair in pairs:
+                    if pair not in seen:
+                        seen.add(pair)
+                        union.append(pair)
+            screen_matches: Set[Pair] = set()
+            dirty: Set[Tuple[int, int]] = set()
+            if union:
+                matched_pairs, dirty = self._screen_pairs(union)
+                screen_matches = set(matched_pairs)
+            # Phase 3: replay the exact merge phase for records adjacent
+            # to dirt; skip the rest.  ``later`` shrinks as the batch is
+            # walked so cascade re-probes never see a record that had not
+            # arrived yet.
+            later: Set[Tuple[int, int]] = {
+                (side, tid) for side, tid, _ in pending
+            }
+            results = []
+            merges = 0
+            chased = 0
+            for side, tid, pairs in pending:
+                later.discard((side, tid))
+                involved = {(side, tid)}
+                for left_tid, right_tid in pairs:
+                    involved.add((LEFT, left_tid))
+                    involved.add((RIGHT, right_tid))
+                replay = pairs and (
+                    any(pair in screen_matches for pair in pairs)
+                    or not involved.isdisjoint(dirty)
+                )
+                if replay:
+                    chased += 1
+                    outcome = self._merge_phase(
+                        side, tid, first_pairs=pairs, exclude=frozenset(later)
+                    )
+                    dirty |= outcome.touched
+                    result = IngestResult(
+                        side,
+                        tid,
+                        tuple(outcome.pairs),
+                        tuple(outcome.matches),
+                        outcome.merged,
+                        cascade_truncated=outcome.truncated,
+                    )
+                else:
+                    result = IngestResult(side, tid, tuple(pairs), (), False)
+                if result.merged:
+                    merges += 1
+                results.append(result)
+            span.set("size", len(results))
+            span.set("chased", chased)
+            span.set("merged", merges)
+        metrics.observe("engine.batch_seconds", time.perf_counter() - started)
+        metrics.count("engine.batches")
+        metrics.observe("engine.batch_size", len(results))
+        metrics.count("engine.ingests", len(results))
+        if merges:
+            metrics.count("engine.merges", merges)
+        self._gauge_store()
+        # One micro-batch = one durable transaction.
+        store.commit()
         return results
 
     # ------------------------------------------------------------------
@@ -387,7 +600,56 @@ class IncrementalMatcher:
                     matches.append(match)
         return matches
 
-    def _chase(self, pairs: Sequence[Pair], use_arrival: bool) -> List[Pair]:
+    def _screen_pairs(
+        self, pairs: Sequence[Pair]
+    ) -> Tuple[List[Pair], Set[Tuple[int, int]]]:
+        """Pooled pre-chase over a batch's delta: matches plus the dirt set.
+
+        Mirrors :meth:`_match_pairs` (arrival chase, plus a current-values
+        chase when any involved record is repaired) but additionally
+        reports every ``(side, tid)`` whose chased values differ from its
+        inputs — the *value dirt*.  Match endpoints whose values did not
+        move are deliberately not dirt: a chase reads values, never
+        cluster membership, so a merge that repairs nothing cannot change
+        a neighbor's verdict.  A record none of whose own pairs matched
+        and none of whose involved records moved is sound to skip — with
+        all involved values fixed, cell identification is monotone in the
+        pair set, so the pooled chase (which ran every chase variant a
+        per-record :meth:`_match_pairs` would have) subsumes each
+        record's own delta chase — which is what lets
+        :meth:`ingest_batch` skip their per-record chase.
+        """
+        store = self.store
+        matches, changed = self._chase(
+            pairs, use_arrival=True, collect_changed=True
+        )
+        involved = {(LEFT, left_tid) for left_tid, _ in pairs} | {
+            (RIGHT, right_tid) for _, right_tid in pairs
+        }
+        repaired = any(
+            store.relation(side)[tid].values()
+            != store.arrival_values(side, tid)
+            for side, tid in involved
+        )
+        if repaired:
+            # Union-wide trigger where _match_pairs triggers per record —
+            # a superset of the chases any single record would run, so
+            # the screen's verdict still subsumes each of them.
+            second, second_changed = self._chase(
+                pairs, use_arrival=False, collect_changed=True
+            )
+            for match in second:
+                if match not in matches:
+                    matches.append(match)
+            changed |= second_changed
+        return matches, changed
+
+    def _chase(
+        self,
+        pairs: Sequence[Pair],
+        use_arrival: bool,
+        collect_changed: bool = False,
+    ):
         """One enforcement chase over a local sub-instance of the delta.
 
         The sub-instance holds only the tuples occurring in ``pairs`` (ids
@@ -424,11 +686,29 @@ class IncrementalMatcher:
             candidate_pairs=list(pairs),
             factorised=self.factorised,
         )
-        return [
+        matches = [
             (left_tid, right_tid)
             for left_tid, right_tid in pairs
             if result.identified(left_tid, right_tid, self._target_pairs)
         ]
+        if not collect_changed:
+            return matches
+        # Which involved records did the chase move?  Compare the chased
+        # extension against the values the sub-instance was built from.
+        changed: Set[Tuple[int, int]] = set()
+        for out, stored, side, tids in (
+            (result.instance.left, store.left, LEFT, involved_left),
+            (result.instance.right, store.right, RIGHT, involved_right),
+        ):
+            for tid in tids:
+                baseline = (
+                    store.arrival_values(side, tid)
+                    if use_arrival
+                    else stored[tid].values()
+                )
+                if out[tid].values() != baseline:
+                    changed.add((side, tid))
+        return matches, changed
 
     def _resolve_cluster(self, node: Node) -> List[Tuple[int, int]]:
         """Re-resolve a cluster's target values to the member consensus.

@@ -1,0 +1,193 @@
+"""The service differential suite: HTTP ≡ offline, bit for bit.
+
+Concurrent clients ingest every stream scenario over the real wire
+protocol (stdlib ``http.client`` against the asyncio server) and the
+final store state — snapshot document, clusters, consensus values,
+comparisons/merges counters — must equal an offline
+``Workspace.stream()`` replay *one record at a time*, for both store
+backends.  The server assigns each ingest a monotonically increasing
+``seq`` in processing order; replaying events in seq order makes the
+comparison exact regardless of client interleaving, and the
+batch-boundary invariance property (``test_batch_invariance.py``)
+bridges the server's micro-batches to the one-at-a-time replay.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datagen.streams import (
+    arrival_stream,
+    duplicate_burst_stream,
+    late_duplicate_stream,
+)
+from repro.engine import SQLiteMatchStore
+
+from serve_helpers import (
+    ServeClient,
+    builder,
+    dataset,
+    event_record,
+    start_server,
+    state,
+)
+
+SCENARIOS = [duplicate_burst_stream, arrival_stream, late_duplicate_stream]
+SCENARIO_IDS = ["duplicate-burst", "arrival", "late-duplicate"]
+BACKENDS = ["memory", "sqlite"]
+
+CLIENTS = 4
+
+
+def _spec(tmp_path, backend):
+    spec_builder = builder(dataset()).serve(
+        port=0, max_batch=8, max_delay_ms=20
+    )
+    if backend == "sqlite":
+        spec_builder = spec_builder.persistence(
+            "sqlite", str(tmp_path / "serve.db")
+        )
+    return spec_builder.build()
+
+
+def _ingest_concurrently(host, port, events):
+    """``CLIENTS`` threads ingest a partition each; (seq, event, result)."""
+    outcomes = []
+    outcome_lock = threading.Lock()
+    failures = []
+
+    def client_worker(worker_events):
+        client = ServeClient(host, port)
+        try:
+            for event in worker_events:
+                status, body, _ = client.request(
+                    "POST", "/ingest", event_record(event)
+                )
+                if status != 200:
+                    failures.append((status, body))
+                    return
+                (result,) = body["results"]
+                with outcome_lock:
+                    outcomes.append((result["seq"], event, result))
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=client_worker, args=(events[index::CLIENTS],))
+        for index in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, f"ingest failed: {failures[:3]}"
+    return outcomes
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("make_stream", SCENARIOS, ids=SCENARIO_IDS)
+def test_http_ingest_equals_offline_stream(make_stream, backend, tmp_path):
+    events = list(make_stream(dataset(), seed=5).events)
+    spec = _spec(tmp_path, backend)
+    thread, host, port = start_server(spec)
+    try:
+        outcomes = _ingest_concurrently(host, port, events)
+        assert len(outcomes) == len(events)
+        seqs = sorted(seq for seq, _, _ in outcomes)
+        assert seqs == list(range(len(events)))
+
+        server_store = thread.server.tenant.matcher.store
+        server_state = state(server_store)
+        server_fingerprint = server_store.spec_fingerprint
+    finally:
+        thread.stop()
+
+    # Offline replay in the server's processing order, one at a time.
+    outcomes.sort(key=lambda item: item[0])
+    offline = builder(dataset()).workspace().stream()
+    offline_results = offline.ingest_stream(
+        [event for _, event, _ in outcomes]
+    )
+
+    assert server_state == state(offline.store)
+    assert server_fingerprint == spec.fingerprint()
+
+    # Per-event results agree too: the wire response at seq k is the
+    # offline result of ingesting the k-th processed record.
+    for (_, _, wire), result in zip(outcomes, offline_results):
+        assert wire["tid"] == result.tid
+        assert wire["candidates"] == len(result.candidates)
+        assert wire["matches"] == [list(pair) for pair in result.matches]
+        assert wire["merged"] == result.merged
+
+    if backend == "sqlite":
+        # The graceful stop committed and closed; a cold reopen of the
+        # database sees the identical state (restart durability).
+        reopened = SQLiteMatchStore(tmp_path / "serve.db")
+        try:
+            assert state(reopened) == server_state
+            assert reopened.spec_fingerprint == spec.fingerprint()
+        finally:
+            reopened.close(commit=False)
+
+
+def test_batched_service_does_fewer_chases_than_per_record():
+    """The micro-batch queue actually amortizes: ingesting through the
+    service costs strictly fewer enforcement chases than one-at-a-time
+    offline ingest of the same events.  The workload is serving-shaped —
+    a warm partial customer base, then live billing traffic, most of it
+    from unknown holders — because an all-duplicates stream leaves
+    nothing to amortize (every record's neighborhood is dirty).  The
+    full ≥2× claim at scale is ``benchmarks/test_serve.py``.
+    """
+    from repro.core.schema import LEFT
+    from repro.datagen.generator import generate_dataset
+
+    source = generate_dataset(
+        300, duplicate_fraction=0.15, namesake_fraction=0.35, seed=13
+    )
+    events = list(arrival_stream(source).events)
+    credit = [e for e in events if e.side == LEFT]
+    billing = [e for e in events if e.side != LEFT]
+    warm = {e.entity for e in credit if (e.entity % 100) < 20}
+    stream = [e for e in credit if e.entity in warm] + billing
+
+    spec = (
+        builder(source)
+        .serve(port=0, max_batch=32, max_delay_ms=20)
+        .build()
+    )
+    thread, host, port = start_server(spec)
+    try:
+        client = ServeClient(host, port)
+        try:
+            # Bulk posts fill whole micro-batches (the steady-traffic
+            # shape); each record still gets its own seq and result.
+            for start in range(0, len(stream), 32):
+                status, body, _ = client.request(
+                    "POST",
+                    "/ingest",
+                    {
+                        "records": [
+                            event_record(event)
+                            for event in stream[start : start + 32]
+                        ]
+                    },
+                )
+                assert status == 200
+        finally:
+            client.close()
+        server_chases = thread.server.tenant.workspace.plan.stats.enforcements
+        server_state = state(thread.server.tenant.matcher.store)
+    finally:
+        thread.stop()
+
+    offline = builder(source).workspace()
+    offline_matcher = offline.stream()
+    offline_matcher.ingest_stream(stream)
+    offline_chases = offline.plan.stats.enforcements
+    # Fewer chases, identical answers.
+    assert server_chases < offline_chases
+    assert server_state == state(offline_matcher.store)

@@ -799,3 +799,40 @@ class TestEngineSQLite:
         code = self._ingest(other, fig1_csvs, store_path)
         assert code == 2
         assert "built from spec" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_builds_server_from_spec_and_flags(self, spec_file,
+                                                     monkeypatch):
+        import repro.serve
+
+        launched = {}
+        monkeypatch.setattr(
+            repro.serve, "serve_forever",
+            lambda server: launched.setdefault("server", server),
+        )
+        code = main([
+            "serve", "--spec", str(spec_file), "--host", "0.0.0.0",
+            "--port", "0", "--max-batch", "4", "--max-delay-ms", "3",
+            "--queue-limit", "7",
+        ])
+        assert code == 0
+        server = launched["server"]
+        assert (server.host, server.port) == ("0.0.0.0", 0)
+        assert server.max_batch == 4
+        assert server.max_delay_ms == 3
+        assert server.queue_limit == 7
+        # No flags -> the spec's serve section (here: its defaults).
+        monkeypatch.setattr(
+            repro.serve, "serve_forever",
+            lambda server: launched.__setitem__("defaulted", server),
+        )
+        assert main(["serve", "--spec", str(spec_file)]) == 0
+        defaulted = launched["defaulted"]
+        assert (defaulted.host, defaulted.port) == ("127.0.0.1", 8080)
+        assert defaulted.max_batch == 16
+
+    def test_serve_missing_spec_exits_two(self, tmp_path, capsys):
+        code = main(["serve", "--spec", str(tmp_path / "no.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
